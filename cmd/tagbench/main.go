@@ -1,0 +1,175 @@
+// Command tagbench regenerates the paper's evaluation tables and figures
+// (§8) on the reproduction's engines. Experiments:
+//
+//	load        Tables 1/2 loading times + Figure 14 sizes (+ Table 15)
+//	tpch        Tables 3/4/8-10, Figure 13(a), Table 5-style win counts
+//	tpcds       Tables 5/6/11-13, Figures 13(b)/15
+//	memory      Table 7 peak RAM during workload execution
+//	distributed Figure 16 + Tables 16/17 on the simulated cluster
+//	ablation    design-choice ablations (θ sweep, Cartesian A/B, LA vs GA,
+//	            thread scaling, materialization policy)
+//	all         everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: load|tpch|tpcds|memory|distributed|ablation|all")
+	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
+	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
+	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
+	machines := flag.Int("machines", 6, "simulated cluster size")
+	seed := flag.Int64("seed", 2021, "generator seed")
+	flag.Parse()
+
+	var scales []float64
+	for _, s := range strings.Split(*scalesFlag, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad scale %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		scales = append(scales, f)
+	}
+	cfg := bench.Config{Scales: scales, Seed: *seed, Workers: *workers,
+		Runs: *runs, Machines: *machines, Out: os.Stdout}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("load", func() error { return runLoad(cfg) })
+	run("tpch", func() error { return runWorkload(cfg, "tpch") })
+	run("tpcds", func() error { return runWorkload(cfg, "tpcds") })
+	run("memory", func() error { return runMemory(cfg) })
+	run("distributed", func() error { return runDistributed(cfg) })
+	run("ablation", func() error { return runAblation(cfg) })
+}
+
+func runLoad(cfg bench.Config) error {
+	for _, workload := range []string{"tpch", "tpcds"} {
+		var results []bench.LoadResult
+		for _, sc := range cfg.Scales {
+			r, err := bench.MeasureLoad(workload, sc, cfg.Seed)
+			if err != nil {
+				return err
+			}
+			results = append(results, r)
+		}
+		bench.PrintLoad(cfg.Out, results)
+	}
+	return nil
+}
+
+func runWorkload(cfg bench.Config, workload string) error {
+	var all []bench.WorkloadResult
+	for _, sc := range cfg.Scales {
+		env, err := bench.NewEnv(workload, sc, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		res, err := bench.RunWorkload(cfg, env)
+		if err != nil {
+			return err
+		}
+		bench.PrintPerQuery(cfg.Out, res)
+		all = append(all, res)
+	}
+	last := all[len(all)-1]
+	bench.PrintAggregate(cfg.Out, all)
+	bench.PrintByClass(cfg.Out, last)
+	bench.PrintWinCounts(cfg.Out, last)
+	if workload == "tpch" {
+		bench.PrintSelected(cfg.Out, last, "Table 3 — LA and correlated-subquery queries",
+			[]string{"q3", "q4", "q5", "q10", "q2", "q17", "q20", "q21"})
+		bench.PrintSelected(cfg.Out, last, "Table 4 — GA and scalar queries",
+			[]string{"q1", "q6", "q7", "q9", "q16", "q19"})
+	} else {
+		bench.PrintSelected(cfg.Out, last, "Table 6 — selected TPC-DS queries by class",
+			[]string{"q37", "q82", "q84", "q7", "q12", "q56", "q22", "q45", "q69", "q74", "q32", "q94"})
+	}
+	return nil
+}
+
+func runMemory(cfg bench.Config) error {
+	fmt.Fprintf(cfg.Out, "\nTable 7 — peak heap during workload execution (MB)\n")
+	fmt.Fprintf(cfg.Out, "%-8s %-8s %10s\n", "workload", "engine", "peak_mb")
+	sc := cfg.Scales[len(cfg.Scales)-1]
+	for _, workload := range []string{"tpch", "tpcds"} {
+		env, err := bench.NewEnv(workload, sc, cfg.Seed, cfg.Workers)
+		if err != nil {
+			return err
+		}
+		for _, engine := range bench.Engines {
+			peak, err := bench.PeakRAM(func() error {
+				for _, q := range bench.WorkloadQueries(workload) {
+					if _, err := bench.RunOn(env, engine, q.SQL); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, "%-8s %-8s %10.1f\n", workload, engine, float64(peak)/(1<<20))
+		}
+	}
+	return nil
+}
+
+func runDistributed(cfg bench.Config) error {
+	sc := cfg.Scales[len(cfg.Scales)-1]
+	for _, workload := range []string{"tpch", "tpcds"} {
+		res, err := bench.RunDistributed(cfg, workload, sc)
+		if err != nil {
+			return err
+		}
+		bench.PrintDistributed(cfg.Out, res)
+	}
+	return nil
+}
+
+func runAblation(cfg bench.Config) error {
+	sc := cfg.Scales[len(cfg.Scales)-1]
+	th, err := bench.AblationTheta(cfg, sc, []float64{0, 1, 4, 16, 1e9})
+	if err != nil {
+		return err
+	}
+	bench.PrintTheta(cfg.Out, th)
+	ca, err := bench.AblationCartesian(cfg, cfg.Scales[0])
+	if err != nil {
+		return err
+	}
+	bench.PrintCartesian(cfg.Out, ca)
+	ap, err := bench.AblationAggPath(cfg, sc)
+	if err != nil {
+		return err
+	}
+	bench.PrintAggPath(cfg.Out, ap)
+	wk, err := bench.AblationWorkers(cfg, sc, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	bench.PrintWorkers(cfg.Out, wk)
+	pl, err := bench.AblationPolicy(cfg, sc)
+	if err != nil {
+		return err
+	}
+	bench.PrintPolicy(cfg.Out, pl)
+	return nil
+}

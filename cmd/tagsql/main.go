@@ -1,0 +1,102 @@
+// Command tagsql is an interactive SQL shell over the TAG-join executor
+// (default) or the baseline relational engine. It loads a generated
+// TPC-H-like or TPC-DS-like database, reads one query per line (or a
+// -query argument), and prints rows plus executor statistics.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tag"
+	"repro/internal/tpcds"
+	"repro/internal/tpch"
+)
+
+func main() {
+	workload := flag.String("db", "tpch", "database to load: tpch or tpcds")
+	scale := flag.Float64("scale", 1, "scale factor")
+	seed := flag.Int64("seed", 2021, "generator seed")
+	engine := flag.String("engine", "tag", "engine: tag or refdb")
+	query := flag.String("query", "", "run one query and exit (otherwise read stdin)")
+	stats := flag.Bool("stats", true, "print execution statistics")
+	flag.Parse()
+
+	var cat *relation.Catalog
+	switch *workload {
+	case "tpch":
+		cat = tpch.Generate(*scale, *seed)
+	case "tpcds":
+		cat = tpcds.Generate(*scale, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown db %q\n", *workload)
+		os.Exit(2)
+	}
+
+	runQuery := func(q string) {
+		start := time.Now()
+		var out *relation.Relation
+		var err error
+		var extra string
+		switch *engine {
+		case "tag":
+			g, berr := tag.Build(cat, nil)
+			if berr != nil {
+				fmt.Fprintln(os.Stderr, berr)
+				return
+			}
+			ex := core.NewExecutor(g, bsp.Options{})
+			out, err = ex.Query(q)
+			if err == nil && *stats {
+				extra = fmt.Sprintf("agg=%s acyclic=%v %s", ex.Info.Agg, ex.Info.Acyclic, ex.Stats())
+			}
+		case "refdb":
+			out, err = baseline.New(cat).Query(q)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Print(out.String())
+		fmt.Printf("(%d rows in %v)\n", out.Len(), time.Since(start).Round(time.Microsecond))
+		if extra != "" {
+			fmt.Println(extra)
+		}
+	}
+
+	if *query != "" {
+		runQuery(*query)
+		return
+	}
+
+	fmt.Printf("tagsql: %s at scale %g on the %s engine; one query per line, \\q to quit\n",
+		*workload, *scale, *engine)
+	fmt.Println(cat.String())
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("tagsql> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "\\q" || line == "exit" || line == "quit" {
+			break
+		}
+		runQuery(line)
+	}
+}

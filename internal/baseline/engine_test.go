@@ -1,0 +1,361 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// shopCatalog is a small hand-checkable database.
+func shopCatalog() *relation.Catalog {
+	cat := relation.NewCatalog()
+
+	nation := relation.New("nation", relation.MustSchema(
+		relation.Col("nkey", relation.KindInt),
+		relation.Col("nname", relation.KindString)))
+	nation.MustAppend(relation.Int(1), relation.Str("USA"))
+	nation.MustAppend(relation.Int(2), relation.Str("FRANCE"))
+	nation.MustAppend(relation.Int(3), relation.Str("PERU"))
+	cat.MustAdd(nation)
+	cat.SetPrimaryKey("nation", "nkey")
+
+	cust := relation.New("cust", relation.MustSchema(
+		relation.Col("ckey", relation.KindInt),
+		relation.Col("cnation", relation.KindInt),
+		relation.Col("cname", relation.KindString)))
+	cust.MustAppend(relation.Int(10), relation.Int(1), relation.Str("alice"))
+	cust.MustAppend(relation.Int(20), relation.Int(1), relation.Str("bob"))
+	cust.MustAppend(relation.Int(30), relation.Int(2), relation.Str("chloe"))
+	cust.MustAppend(relation.Int(40), relation.Null, relation.Str("drift")) // dangling
+	cat.MustAdd(cust)
+	cat.SetPrimaryKey("cust", "ckey")
+	cat.AddForeignKey(relation.ForeignKey{Table: "cust", Column: "cnation", RefTable: "nation", RefColumn: "nkey"})
+
+	ord := relation.New("ord", relation.MustSchema(
+		relation.Col("okey", relation.KindInt),
+		relation.Col("ocust", relation.KindInt),
+		relation.Col("price", relation.KindInt)))
+	ord.MustAppend(relation.Int(100), relation.Int(10), relation.Int(5))
+	ord.MustAppend(relation.Int(101), relation.Int(10), relation.Int(7))
+	ord.MustAppend(relation.Int(102), relation.Int(20), relation.Int(11))
+	ord.MustAppend(relation.Int(103), relation.Int(30), relation.Int(2))
+	ord.MustAppend(relation.Int(104), relation.Int(99), relation.Int(50)) // dangling
+	cat.MustAdd(ord)
+	cat.SetPrimaryKey("ord", "okey")
+	cat.AddForeignKey(relation.ForeignKey{Table: "ord", Column: "ocust", RefTable: "cust", RefColumn: "ckey"})
+
+	return cat
+}
+
+// queryRows runs a query and returns sorted canonical row keys.
+func queryRows(t *testing.T, e *Engine, q string) []string {
+	t.Helper()
+	r, err := e.Query(q)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return r.SortedKeys()
+}
+
+func TestSimpleFilterProjection(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT cname FROM cust WHERE ckey > 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Errorf("rows = %d, want 3\n%v", r.Len(), r)
+	}
+}
+
+func TestTwoWayJoin(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT cname, nname FROM cust, nation WHERE cnation = nkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice-USA, bob-USA, chloe-FRANCE; drift has NULL nation.
+	if r.Len() != 3 {
+		t.Errorf("rows = %d, want 3\n%v", r.Len(), r)
+	}
+}
+
+func TestThreeWayJoinWithFilter(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query(`SELECT nname, price FROM nation, cust, ord
+		WHERE cnation = nkey AND ocust = ckey AND price > 4`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// orders 100(5,alice,USA) 101(7,alice,USA) 102(11,bob,USA); 103 price 2; 104 dangling
+	if r.Len() != 3 {
+		t.Errorf("rows = %d, want 3\n%v", r.Len(), r)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query(`SELECT ocust, SUM(price) AS total, COUNT(*) AS n FROM ord
+		GROUP BY ocust HAVING SUM(price) > 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"110\x1f112\x1f12": true, "120\x1f111\x1f11": true, "199\x1f150\x1f11": true}
+	if r.Len() != len(want) {
+		t.Fatalf("rows = %d, want %d\n%v", r.Len(), len(want), r)
+	}
+	for _, k := range r.SortedKeys() {
+		if !want[k] {
+			t.Errorf("unexpected row %q", k)
+		}
+	}
+}
+
+func TestScalarAggregateEmptyInput(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT COUNT(*), SUM(price) FROM ord WHERE price > 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("scalar agg must yield one row, got %d", r.Len())
+	}
+	if r.Tuples[0][0] != relation.Int(0) || !r.Tuples[0][1].IsNull() {
+		t.Errorf("row = %v, want (0, NULL)", r.Tuples[0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT DISTINCT cnation FROM cust WHERE cnation IS NOT NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Errorf("distinct rows = %d, want 2", r.Len())
+	}
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT cname, nname FROM cust LEFT JOIN nation ON cnation = nkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 4 customers; drift gets NULL nation.
+	if r.Len() != 4 {
+		t.Fatalf("rows = %d, want 4\n%v", r.Len(), r)
+	}
+	hasNull := false
+	for _, tp := range r.Tuples {
+		if tp[1].IsNull() {
+			hasNull = true
+		}
+	}
+	if !hasNull {
+		t.Error("expected a NULL-extended row")
+	}
+}
+
+func TestRightAndFullOuterJoin(t *testing.T) {
+	e := New(shopCatalog())
+	// RIGHT: every nation appears; PERU has no customers.
+	r, err := e.Query("SELECT cname, nname FROM cust RIGHT JOIN nation ON cnation = nkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 { // 3 matches + PERU
+		t.Fatalf("right join rows = %d, want 4\n%v", r.Len(), r)
+	}
+	// FULL: matches + drift + PERU.
+	r, err = e.Query("SELECT cname, nname FROM cust FULL JOIN nation ON cnation = nkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("full join rows = %d, want 5\n%v", r.Len(), r)
+	}
+}
+
+func TestCorrelatedExists(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query(`SELECT cname FROM cust
+		WHERE EXISTS (SELECT 1 FROM ord WHERE ocust = ckey AND price > 10)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only bob has an order > 10.
+	if r.Len() != 1 || r.Tuples[0][0] != relation.Str("bob") {
+		t.Errorf("rows = %v", r)
+	}
+}
+
+func TestNotExistsAntiJoin(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query(`SELECT cname FROM cust
+		WHERE NOT EXISTS (SELECT 1 FROM ord WHERE ocust = ckey)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// drift has no orders.
+	if r.Len() != 1 || r.Tuples[0][0] != relation.Str("drift") {
+		t.Errorf("rows = %v", r)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT okey FROM ord WHERE ocust IN (SELECT ckey FROM cust WHERE cnation = 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 { // orders of alice and bob
+		t.Errorf("rows = %d, want 3\n%v", r.Len(), r)
+	}
+}
+
+func TestScalarSubqueryComparison(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT okey FROM ord WHERE price > (SELECT AVG(price) FROM ord)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// avg = 15; only order 104 (50) exceeds it.
+	if r.Len() != 1 || r.Tuples[0][0] != relation.Int(104) {
+		t.Errorf("rows = %v", r)
+	}
+}
+
+func TestCorrelatedScalarSubquery(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query(`SELECT okey FROM ord o
+		WHERE price > (SELECT 2 * AVG(price) FROM ord i WHERE i.ocust = o.ocust)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice's orders: 5,7 avg 6 → need >12: none. others single orders: price = avg → need >2*price: none.
+	if r.Len() != 0 {
+		t.Errorf("rows = %v", r)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT ckey FROM cust UNION ALL SELECT okey FROM ord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 9 {
+		t.Errorf("rows = %d, want 9", r.Len())
+	}
+}
+
+func TestCrossJoinWithResidual(t *testing.T) {
+	e := New(shopCatalog())
+	// Non-equi theta join forces cross product + residual filter.
+	r, err := e.Query("SELECT n1.nname, n2.nname FROM nation n1, nation n2 WHERE n1.nkey < n2.nkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Errorf("rows = %d, want 3", r.Len())
+	}
+	if e.Stats.NestedLoops == 0 {
+		t.Error("expected a nested-loop join")
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query(`SELECT SUM(CASE WHEN price > 10 THEN 1 ELSE 0 END) FROM ord`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples[0][0] != relation.Int(2) {
+		t.Errorf("conditional count = %v, want 2", r.Tuples[0][0])
+	}
+}
+
+func TestEnginesAgree(t *testing.T) {
+	queries := []string{
+		"SELECT cname, nname FROM cust, nation WHERE cnation = nkey",
+		"SELECT ocust, SUM(price) FROM ord GROUP BY ocust",
+		"SELECT nname, COUNT(*) FROM nation, cust, ord WHERE cnation = nkey AND ocust = ckey GROUP BY nname",
+		"SELECT cname FROM cust WHERE EXISTS (SELECT 1 FROM ord WHERE ocust = ckey)",
+		"SELECT okey FROM ord WHERE price BETWEEN 5 AND 11 AND okey IN (100, 101, 102, 104)",
+		"SELECT cname FROM cust WHERE cname LIKE '%o%'",
+	}
+	cat := shopCatalog()
+	row := New(cat)
+	col := NewColumnStore(cat)
+	shf := NewShuffle(cat, 6)
+	for _, q := range queries {
+		a := queryRows(t, row, q)
+		b := queryRows(t, col, q)
+		c := queryRows(t, shf, q)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Errorf("column store disagrees on %q:\nrow: %v\ncol: %v", q, a, b)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(c) {
+			t.Errorf("shuffle engine disagrees on %q:\nrow: %v\nshf: %v", q, a, c)
+		}
+	}
+}
+
+func TestShuffleAccounting(t *testing.T) {
+	e := NewShuffle(shopCatalog(), 4)
+	e.Shuffle.BroadcastThreshold = 0 // force shuffling
+	if _, err := e.Query("SELECT cname, nname FROM cust, nation WHERE cnation = nkey"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats.ShuffledBytes == 0 {
+		t.Error("shuffle join should move bytes")
+	}
+	e2 := NewShuffle(shopCatalog(), 4) // default threshold: broadcast
+	if _, err := e2.Query("SELECT cname, nname FROM cust, nation WHERE cnation = nkey"); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Stats.BroadcastBytes == 0 {
+		t.Error("small build side should broadcast")
+	}
+	if e2.Stats.NetworkBytes() != e2.Stats.BroadcastBytes {
+		t.Error("NetworkBytes should include broadcast traffic")
+	}
+}
+
+func TestIndexAndColumnStoreBytes(t *testing.T) {
+	cat := shopCatalog()
+	if IndexBytes(cat) <= 0 {
+		t.Error("index bytes should be positive with PKs declared")
+	}
+	if ColumnStoreBytes(cat) <= 0 {
+		t.Error("column store bytes should be positive")
+	}
+	raw := cat.TotalBytes()
+	if ColumnStoreBytes(cat) >= raw*3 {
+		t.Errorf("column store should be compact: %d vs raw %d", ColumnStoreBytes(cat), raw)
+	}
+}
+
+func TestAggregateInExpression(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT SUM(price) / COUNT(*) FROM ord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples[0][0] != relation.Float(15) {
+		t.Errorf("avg via expr = %v", r.Tuples[0][0])
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	e := New(shopCatalog())
+	r, err := e.Query("SELECT price / 10, COUNT(*) FROM ord GROUP BY price / 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() == 0 {
+		t.Error("expected groups")
+	}
+}

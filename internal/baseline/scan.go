@@ -1,0 +1,230 @@
+package baseline
+
+import (
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// columnScan is the RDBMS-X In-Memory stand-in: simple predicates over a
+// single column are evaluated column-at-a-time into a selection bitmap
+// before any row is materialized, accelerating scan-heavy filters
+// (§8.1.3, §8.3). Predicates it cannot vectorize are returned for row-wise
+// evaluation on the survivors.
+func (e *Engine) columnScan(rel *relation.Relation, bt sql.BoundTable, preds []sql.Expr,
+	binding sql.Binding, outer *sql.Env, subq sql.SubqueryFn) ([]relation.Tuple, []sql.Expr, error) {
+
+	var vectorized []func(relation.Value) bool
+	var colIdx []int
+	var rest []sql.Expr
+	for _, p := range preds {
+		slot, fn := vectorizePred(p, rel.Schema)
+		if fn == nil {
+			rest = append(rest, p)
+			continue
+		}
+		vectorized = append(vectorized, fn)
+		colIdx = append(colIdx, slot)
+	}
+	if len(vectorized) == 0 {
+		return rel.Tuples, rest, nil
+	}
+
+	// Selection bitmap, one predicate (column) at a time.
+	sel := make([]bool, len(rel.Tuples))
+	for i := range sel {
+		sel[i] = true
+	}
+	for k, fn := range vectorized {
+		c := colIdx[k]
+		for i, row := range rel.Tuples {
+			if sel[i] && !fn(row[c]) {
+				sel[i] = false
+			}
+		}
+	}
+	var rows []relation.Tuple
+	for i, keep := range sel {
+		if keep {
+			rows = append(rows, rel.Tuples[i])
+		}
+	}
+	return rows, rest, nil
+}
+
+// vectorizePred recognizes col-vs-constant predicates: comparisons,
+// BETWEEN with literal bounds, IN over literals, LIKE, IS [NOT] NULL.
+// It returns the column slot and a per-value test, or nil.
+func vectorizePred(p sql.Expr, schema *relation.Schema) (int, func(relation.Value) bool) {
+	colSlot := func(x sql.Expr) (int, bool) {
+		c, ok := x.(*sql.ColRef)
+		if !ok || c.Depth != 0 {
+			return 0, false
+		}
+		i := schema.Index(c.Column)
+		return i, i >= 0
+	}
+	lit := func(x sql.Expr) (relation.Value, bool) {
+		l, ok := x.(*sql.Literal)
+		if !ok {
+			return relation.Null, false
+		}
+		return l.Val, true
+	}
+
+	switch x := p.(type) {
+	case *sql.Binary:
+		slot, ok := colSlot(x.L)
+		if !ok {
+			return 0, nil
+		}
+		c, ok := lit(x.R)
+		if !ok {
+			return 0, nil
+		}
+		op := x.Op
+		return slot, func(v relation.Value) bool {
+			if v.IsNull() {
+				return false
+			}
+			cmp := v.Compare(c)
+			switch op {
+			case "=":
+				return cmp == 0
+			case "<>":
+				return cmp != 0
+			case "<":
+				return cmp < 0
+			case "<=":
+				return cmp <= 0
+			case ">":
+				return cmp > 0
+			case ">=":
+				return cmp >= 0
+			}
+			return false
+		}
+	case *sql.Between:
+		slot, ok := colSlot(x.X)
+		if !ok {
+			return 0, nil
+		}
+		lo, ok1 := lit(x.Lo)
+		hi, ok2 := lit(x.Hi)
+		if !ok1 || !ok2 {
+			return 0, nil
+		}
+		not := x.Not
+		return slot, func(v relation.Value) bool {
+			if v.IsNull() {
+				return false
+			}
+			in := v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+			return in != not
+		}
+	case *sql.InList:
+		slot, ok := colSlot(x.X)
+		if !ok {
+			return 0, nil
+		}
+		set := make(map[relation.Value]struct{}, len(x.List))
+		for _, item := range x.List {
+			v, ok := lit(item)
+			if !ok {
+				return 0, nil
+			}
+			set[v.Key()] = struct{}{}
+		}
+		not := x.Not
+		return slot, func(v relation.Value) bool {
+			if v.IsNull() {
+				return false
+			}
+			_, in := set[v.Key()]
+			return in != not
+		}
+	case *sql.Like:
+		slot, ok := colSlot(x.X)
+		if !ok {
+			return 0, nil
+		}
+		pat, not := x.Pattern, x.Not
+		return slot, func(v relation.Value) bool {
+			if v.IsNull() {
+				return false
+			}
+			return sql.MatchLike(v.String(), pat) != not
+		}
+	case *sql.IsNull:
+		slot, ok := colSlot(x.X)
+		if !ok {
+			return 0, nil
+		}
+		not := x.Not
+		return slot, func(v relation.Value) bool {
+			return v.IsNull() != not
+		}
+	}
+	return 0, nil
+}
+
+// IndexBytes estimates the footprint of B-tree PK and FK indexes over the
+// catalog, as the TPC protocol prescribes for RDBMSs (§8.2, Figure 14):
+// roughly one (key, row-pointer) entry per tuple per index with B-tree
+// fill overhead.
+func IndexBytes(cat *relation.Catalog) int {
+	const entryOverhead = 16 // pointer + page slot
+	const fill = 1.45        // B-tree occupancy overhead
+
+	total := 0.0
+	addIndex := func(table, column string) {
+		rel := cat.Get(table)
+		if rel == nil {
+			return
+		}
+		i := rel.Schema.Index(column)
+		if i < 0 {
+			return
+		}
+		for _, t := range rel.Tuples {
+			total += float64(t[i].Size()+entryOverhead) * fill
+		}
+	}
+	for _, name := range cat.Names() {
+		if pk := cat.PrimaryKey(name); pk != "" {
+			addIndex(name, pk)
+		}
+	}
+	for _, fk := range cat.ForeignKeys() {
+		addIndex(fk.Table, fk.Column)
+	}
+	return int(total)
+}
+
+// ColumnStoreBytes estimates the in-memory columnar footprint (Table 15):
+// per-column storage with dictionary compression for strings (each
+// distinct string stored once plus a 4-byte code per row) and raw 8-byte
+// words for numerics.
+func ColumnStoreBytes(cat *relation.Catalog) int {
+	total := 0
+	for _, name := range cat.Names() {
+		rel := cat.Get(name)
+		for ci, col := range rel.Schema.Columns {
+			switch col.Kind {
+			case relation.KindString:
+				dict := map[string]struct{}{}
+				for _, t := range rel.Tuples {
+					if !t[ci].IsNull() {
+						dict[t[ci].S] = struct{}{}
+					}
+				}
+				for s := range dict {
+					total += len(s)
+				}
+				total += 4 * rel.Len()
+			default:
+				total += 8 * rel.Len()
+			}
+		}
+	}
+	return total
+}

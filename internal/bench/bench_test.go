@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloadTPCHSmall(t *testing.T) {
+	cfg := Config{Scales: []float64{0.3}, Runs: 1, Workers: 4}
+	env, err := NewEnv("tpch", 0.3, 2021, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWorkload(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != 22 {
+		t.Fatalf("queries = %d", len(res.Queries))
+	}
+	for _, q := range res.Queries {
+		if !q.Agree {
+			t.Errorf("%s: engines disagree", q.ID)
+		}
+		if q.Times["tag"] <= 0 || q.Times["refdb"] <= 0 {
+			t.Errorf("%s: missing timings", q.ID)
+		}
+	}
+	var buf bytes.Buffer
+	PrintPerQuery(&buf, res)
+	PrintAggregate(&buf, []WorkloadResult{res})
+	PrintByClass(&buf, res)
+	PrintWinCounts(&buf, res)
+	PrintSelected(&buf, res, "Table 3", []string{"q3", "q4", "q5", "q10", "q2", "q17", "q20", "q21"})
+	out := buf.String()
+	for _, want := range []string{"Figure 13", "Figure 15", "Table 5", "TOTAL", "q21"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunWorkloadTPCDSSmall(t *testing.T) {
+	cfg := Config{Runs: 1, Workers: 4}
+	env, err := NewEnv("tpcds", 0.2, 2021, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWorkload(cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != 25 {
+		t.Fatalf("queries = %d", len(res.Queries))
+	}
+	for _, q := range res.Queries {
+		if !q.Agree {
+			t.Errorf("%s: engines disagree", q.ID)
+		}
+	}
+	byClass := res.ByClass()
+	for _, c := range []string{"noagg", "local", "global", "scalar"} {
+		if len(byClass[c]) == 0 {
+			t.Errorf("class %s missing from breakdown", c)
+		}
+	}
+}
+
+func TestMeasureLoad(t *testing.T) {
+	res, err := MeasureLoad("tpch", 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TAGBytes <= 0 || res.RowBytes <= res.RawBytes {
+		t.Errorf("sizes wrong: %+v", res)
+	}
+	if res.TAGLoad <= 0 || res.RowLoad <= 0 {
+		t.Error("load times missing")
+	}
+	var buf bytes.Buffer
+	PrintLoad(&buf, []LoadResult{res})
+	if !strings.Contains(buf.String(), "Figure 14") {
+		t.Error("load report malformed")
+	}
+}
+
+func TestRunDistributedSmall(t *testing.T) {
+	cfg := Config{Runs: 1, Machines: 6}
+	res, err := RunDistributed(cfg, "tpch", 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TagTraffic == 0 || res.ShuffleTraffic == 0 {
+		t.Errorf("traffic missing: %+v", res)
+	}
+	var buf bytes.Buffer
+	PrintDistributed(&buf, res)
+	if !strings.Contains(buf.String(), "Figure 16") {
+		t.Error("distributed report malformed")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := Config{Runs: 1, Workers: 4}
+	th, err := AblationTheta(cfg, 0.3, []float64{0, 1, 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correctness must hold across thresholds.
+	for _, r := range th[1:] {
+		if r.Rows != th[0].Rows {
+			t.Errorf("theta sweep changed result: %+v vs %+v", r, th[0])
+		}
+	}
+	ca, err := AblationCartesian(cfg, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca[0].Rows != ca[1].Rows {
+		t.Error("cartesian algorithms disagree")
+	}
+	// Algorithm A communicates less but computes centrally; B's message
+	// count is on the order of the output.
+	if ca[1].Messages <= ca[0].Messages {
+		t.Errorf("algorithm B should send more messages: %+v", ca)
+	}
+	ap, err := AblationAggPath(cfg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap[0].Rows != ap[1].Rows {
+		t.Errorf("LA and GA paths must agree on groups: %+v", ap)
+	}
+	wk, err := AblationWorkers(cfg, 0.3, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wk) != 2 {
+		t.Error("worker sweep incomplete")
+	}
+	pl, err := AblationPolicy(cfg, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl[1].AttrVerts <= pl[0].AttrVerts {
+		t.Errorf("materialize-all should create more attr vertices: %+v", pl)
+	}
+	var buf bytes.Buffer
+	PrintTheta(&buf, th)
+	PrintCartesian(&buf, ca)
+	PrintAggPath(&buf, ap)
+	PrintWorkers(&buf, wk)
+	PrintPolicy(&buf, pl)
+	if !strings.Contains(buf.String(), "sqrt(IN)") {
+		t.Error("ablation report malformed")
+	}
+}
+
+func TestPeakRAM(t *testing.T) {
+	peak, err := PeakRAM(func() error {
+		buf := make([]byte, 8<<20)
+		_ = buf[0]
+		return nil
+	})
+	if err != nil || peak <= 0 {
+		t.Errorf("peak=%d err=%v", peak, err)
+	}
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// DistResult is the Figure 16 / Tables 16-17 distributed comparison for
+// one workload.
+type DistResult struct {
+	Workload string
+	Scale    float64
+	Machines int
+	Queries  []DistQuery
+
+	TagTotal, ShuffleTotal       time.Duration
+	TagTraffic, ShuffleTraffic   int64
+	TagMessages, ShuffleMessages int64
+}
+
+// DistQuery is one query on the simulated cluster.
+type DistQuery struct {
+	ID                     string
+	TagTime, ShuffleTime   time.Duration
+	TagBytes, ShuffleBytes int64
+}
+
+// RunDistributed executes a workload on the simulated cluster with both
+// engines, recording runtimes and network traffic.
+func RunDistributed(cfg Config, workload string, scale float64) (DistResult, error) {
+	cfg = cfg.withDefaults()
+	res := DistResult{Workload: workload, Scale: scale, Machines: cfg.Machines}
+	cat := generate(workload, scale, cfg.Seed)
+	c, err := cluster.New(cat, cfg.Machines)
+	if err != nil {
+		return res, err
+	}
+	for _, q := range WorkloadQueries(workload) {
+		tr, err := c.RunTAG(q.ID, q.SQL)
+		if err != nil {
+			return res, err
+		}
+		sr, err := c.RunShuffle(q.ID, q.SQL)
+		if err != nil {
+			return res, err
+		}
+		res.Queries = append(res.Queries, DistQuery{
+			ID: q.ID, TagTime: tr.Elapsed, ShuffleTime: sr.Elapsed,
+			TagBytes: tr.NetworkBytes, ShuffleBytes: sr.NetworkBytes,
+		})
+		res.TagTotal += tr.Elapsed
+		res.ShuffleTotal += sr.Elapsed
+		res.TagTraffic += tr.NetworkBytes
+		res.ShuffleTraffic += sr.NetworkBytes
+		res.TagMessages += tr.NetworkMessages
+		res.ShuffleMessages += sr.NetworkMessages
+	}
+	return res, nil
+}
+
+// PrintDistributed renders Figure 16 and the Tables 16/17 detail.
+func PrintDistributed(w io.Writer, res DistResult) {
+	fmt.Fprintf(w, "\nFigure 16 — distributed %s on %d machines, scale %.2g\n",
+		res.Workload, res.Machines, res.Scale)
+	fmt.Fprintf(w, "%-10s %14s %16s\n", "engine", "agg_time_ms", "net_traffic_kb")
+	fmt.Fprintf(w, "%-10s %14.3f %16d\n", "tag", ms(res.TagTotal), res.TagTraffic/1024)
+	fmt.Fprintf(w, "%-10s %14.3f %16d\n", "shuffle", ms(res.ShuffleTotal), res.ShuffleTraffic/1024)
+	if res.TagTraffic > 0 {
+		fmt.Fprintf(w, "traffic ratio shuffle/tag = %.2fx\n",
+			float64(res.ShuffleTraffic)/float64(res.TagTraffic))
+	}
+
+	fmt.Fprintf(w, "\nTables 16/17 — per-query distributed runtimes (ms) and traffic (kb)\n")
+	fmt.Fprintf(w, "%-6s %10s %10s %12s %12s\n", "query", "tag_ms", "shuffle_ms", "tag_kb", "shuffle_kb")
+	for _, q := range res.Queries {
+		fmt.Fprintf(w, "%-6s %10.3f %10.3f %12d %12d\n",
+			q.ID, ms(q.TagTime), ms(q.ShuffleTime), q.TagBytes/1024, q.ShuffleBytes/1024)
+	}
+}

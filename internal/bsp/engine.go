@@ -1,0 +1,355 @@
+package bsp
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Message is delivered to a vertex at the start of the superstep after it
+// was sent, per the BSP discipline of §2.
+type Message struct {
+	From    VertexID
+	Payload any
+}
+
+// Program is a vertex program: Compute runs once per active vertex per
+// superstep, with the messages the vertex received.
+//
+// Compute must only touch the state of its own vertex (vertex payloads of
+// other vertices may be read if the program guarantees they are not being
+// mutated concurrently, e.g. immutable TAG tuple data).
+type Program interface {
+	Compute(ctx *Context, v VertexID, inbox []Message)
+}
+
+// MasterProgram is an optional extension: BeforeSuperstep runs at the
+// barrier before each superstep (step counts from 0) and may halt the
+// computation by returning false. This is where label-stack-driven
+// programs (Algorithm 2) pop the next traversal step.
+type MasterProgram interface {
+	BeforeSuperstep(step int, eng *Engine) bool
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(ctx *Context, v VertexID, inbox []Message)
+
+// Compute implements Program.
+func (f ProgramFunc) Compute(ctx *Context, v VertexID, inbox []Message) { f(ctx, v, inbox) }
+
+// Options configures an Engine run.
+type Options struct {
+	// Workers is the thread parallelism degree; defaults to GOMAXPROCS.
+	Workers int
+	// MaxSupersteps guards against runaway programs; defaults to 100000.
+	MaxSupersteps int
+	// Partitions simulates a distributed cluster: messages whose source
+	// and destination vertices live on different partitions are counted
+	// as network traffic. Defaults to 1 (single machine).
+	Partitions int
+	// PartitionOf overrides the default hash partitioner.
+	PartitionOf func(VertexID) int
+	// PayloadSize estimates the wire size of a message payload in bytes;
+	// defaults to 8 bytes per payload.
+	PayloadSize func(any) int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxSupersteps <= 0 {
+		o.MaxSupersteps = 100000
+	}
+	if o.Partitions <= 0 {
+		o.Partitions = 1
+	}
+	if o.PartitionOf == nil {
+		p := o.Partitions
+		o.PartitionOf = func(v VertexID) int { return int(v) % p }
+	}
+	if o.PayloadSize == nil {
+		o.PayloadSize = func(any) int { return 8 }
+	}
+	return o
+}
+
+// Stats accumulates the paper's cost measures over a run (§2 "Cost
+// Measure"): total messages and computation, plus byte-level and
+// cross-partition (network) accounting.
+type Stats struct {
+	Supersteps      int
+	Messages        int64
+	MessageBytes    int64
+	NetworkMessages int64 // messages crossing partition boundaries
+	NetworkBytes    int64
+	ComputeOps      int64
+	ActiveVisits    int64 // total vertex activations over all supersteps
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Supersteps += other.Supersteps
+	s.Messages += other.Messages
+	s.MessageBytes += other.MessageBytes
+	s.NetworkMessages += other.NetworkMessages
+	s.NetworkBytes += other.NetworkBytes
+	s.ComputeOps += other.ComputeOps
+	s.ActiveVisits += other.ActiveVisits
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("supersteps=%d msgs=%d bytes=%d netMsgs=%d netBytes=%d ops=%d visits=%d",
+		s.Supersteps, s.Messages, s.MessageBytes, s.NetworkMessages, s.NetworkBytes, s.ComputeOps, s.ActiveVisits)
+}
+
+type outMsg struct {
+	from, to VertexID
+	payload  any
+}
+
+// Engine executes vertex programs over a frozen graph. An Engine may run
+// several programs in sequence over the same graph (as TAG-join does for
+// its reduction and collection phases); Stats accumulate across runs.
+type Engine struct {
+	g    *Graph
+	opts Options
+
+	stats Stats
+
+	inbox  [][]Message
+	dirty  []VertexID
+	nextIn [][]Message
+
+	aggs   map[string]int64
+	emits  []any
+	halted bool
+}
+
+// NewEngine prepares an engine over g.
+func NewEngine(g *Graph, opts Options) *Engine {
+	if !g.Frozen() {
+		g.Freeze()
+	}
+	return &Engine{
+		g:      g,
+		opts:   opts.withDefaults(),
+		inbox:  make([][]Message, g.NumVertices()),
+		nextIn: make([][]Message, g.NumVertices()),
+		aggs:   make(map[string]int64),
+	}
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Stats returns the accumulated cost measures.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the accumulated cost measures.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// AddExternal records communication performed outside a vertex program
+// (e.g. the Algorithm B Cartesian combination of component results) in
+// the cost measures.
+func (e *Engine) AddExternal(msgs, bytes int64) {
+	e.stats.Messages += msgs
+	e.stats.MessageBytes += bytes
+}
+
+// AggInt returns the value of a named integer aggregator accumulated
+// during the most recent superstep.
+func (e *Engine) AggInt(name string) int64 { return e.aggs[name] }
+
+// Emitted returns values emitted via Context.Emit during the last Run, in
+// deterministic (worker-, then vertex-) order.
+func (e *Engine) Emitted() []any { return e.emits }
+
+// Halt requests termination after the current superstep; usable from a
+// MasterProgram.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes prog starting from the initial active set until no vertex
+// is active, the master halts, or MaxSupersteps is reached. It returns the
+// stats for this run only (engine totals keep accumulating).
+func (e *Engine) Run(prog Program, initial []VertexID) Stats {
+	before := e.stats
+	e.halted = false
+	e.emits = e.emits[:0]
+
+	// The graph may have grown since the engine was created (incremental
+	// TAG maintenance adds vertices); make room and ensure it is frozen.
+	if !e.g.Frozen() {
+		e.g.Freeze()
+	}
+	if n := e.g.NumVertices(); n > len(e.inbox) {
+		e.inbox = append(e.inbox, make([][]Message, n-len(e.inbox))...)
+		e.nextIn = append(e.nextIn, make([][]Message, n-len(e.nextIn))...)
+	}
+
+	active := make([]VertexID, len(initial))
+	copy(active, initial)
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+
+	master, hasMaster := prog.(MasterProgram)
+
+	for step := 0; step < e.opts.MaxSupersteps; step++ {
+		if hasMaster && !master.BeforeSuperstep(step, e) {
+			break
+		}
+		if len(active) == 0 || e.halted {
+			break
+		}
+		e.stats.Supersteps++
+		e.stats.ActiveVisits += int64(len(active))
+
+		// Aggregator values from superstep S are visible during S+1 and at
+		// the following barrier; clear them only now that the previous
+		// barrier (and master hook) has consumed them.
+		for k := range e.aggs {
+			delete(e.aggs, k)
+		}
+
+		// Computation stage: shard active vertices over workers.
+		workers := e.opts.Workers
+		if workers > len(active) {
+			workers = len(active)
+		}
+		ctxs := make([]*Context, workers)
+		var wg sync.WaitGroup
+		chunk := (len(active) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo > len(active) {
+				lo = len(active)
+			}
+			hi := lo + chunk
+			if hi > len(active) {
+				hi = len(active)
+			}
+			ctx := &Context{eng: e, step: step, aggs: make(map[string]int64)}
+			ctxs[w] = ctx
+			wg.Add(1)
+			go func(verts []VertexID, ctx *Context) {
+				defer wg.Done()
+				for _, v := range verts {
+					prog.Compute(ctx, v, e.inbox[v])
+				}
+			}(active[lo:hi], ctx)
+		}
+		wg.Wait()
+
+		// Barrier: clear consumed inboxes.
+		for _, v := range active {
+			e.inbox[v] = nil
+		}
+
+		// Communication stage: merge per-worker outboxes deterministically.
+		// Network accounting batches identical payloads from one source to
+		// one destination machine into a single wire transfer, as BSP
+		// engines' per-machine message combiners do: the payload crosses
+		// the interconnect once and fans out locally.
+		e.dirty = e.dirty[:0]
+		type wire struct {
+			from VertexID
+			part int
+			pay  any
+		}
+		var sent map[wire]bool
+		if e.opts.Partitions > 1 {
+			sent = make(map[wire]bool)
+		}
+		for _, ctx := range ctxs {
+			for _, m := range ctx.out {
+				if len(e.nextIn[m.to]) == 0 {
+					e.dirty = append(e.dirty, m.to)
+				}
+				e.nextIn[m.to] = append(e.nextIn[m.to], Message{From: m.from, Payload: m.payload})
+				sz := int64(e.opts.PayloadSize(m.payload))
+				e.stats.Messages++
+				e.stats.MessageBytes += sz
+				if e.opts.Partitions > 1 && e.opts.PartitionOf(m.from) != e.opts.PartitionOf(m.to) {
+					w := wire{from: m.from, part: e.opts.PartitionOf(m.to), pay: m.payload}
+					if !sent[w] {
+						sent[w] = true
+						e.stats.NetworkMessages++
+						e.stats.NetworkBytes += sz
+					}
+				}
+			}
+			for k, v := range ctx.aggs {
+				e.aggs[k] += v
+			}
+			e.emits = append(e.emits, ctx.emits...)
+			e.stats.ComputeOps += ctx.ops
+		}
+
+		// Deliver: swap inboxes, activate recipients.
+		e.inbox, e.nextIn = e.nextIn, e.inbox
+		sort.Slice(e.dirty, func(i, j int) bool { return e.dirty[i] < e.dirty[j] })
+		active = append(active[:0], e.dirty...)
+	}
+
+	// Drop any undelivered messages so the next Run starts clean.
+	for _, v := range e.dirty {
+		e.inbox[v] = nil
+	}
+	e.dirty = e.dirty[:0]
+
+	run := e.stats
+	run.Supersteps -= before.Supersteps
+	run.Messages -= before.Messages
+	run.MessageBytes -= before.MessageBytes
+	run.NetworkMessages -= before.NetworkMessages
+	run.NetworkBytes -= before.NetworkBytes
+	run.ComputeOps -= before.ComputeOps
+	run.ActiveVisits -= before.ActiveVisits
+	return run
+}
+
+// Context is the per-worker view handed to Compute. All methods are safe
+// for the single goroutine that owns the context.
+type Context struct {
+	eng   *Engine
+	step  int
+	out   []outMsg
+	aggs  map[string]int64
+	emits []any
+	ops   int64
+}
+
+// Graph returns the graph being computed over.
+func (c *Context) Graph() *Graph { return c.eng.g }
+
+// Step returns the current superstep number (counting from 0).
+func (c *Context) Step() int { return c.step }
+
+// Send queues a message for delivery at the next superstep. Vertices may
+// message any vertex whose id they know (§2).
+func (c *Context) Send(from, to VertexID, payload any) {
+	c.out = append(c.out, outMsg{from: from, to: to, payload: payload})
+}
+
+// SendAlong sends payload along every out-edge of v carrying label and
+// returns the number of messages sent.
+func (c *Context) SendAlong(v VertexID, label LabelID, payload any) int {
+	edges := c.eng.g.EdgesWithLabel(v, label)
+	for _, e := range edges {
+		c.Send(v, e.To, payload)
+	}
+	return len(edges)
+}
+
+// AddInt accumulates into a named global integer aggregator; the merged
+// value is readable by the master (Engine.AggInt) at the next barrier.
+func (c *Context) AddInt(name string, delta int64) {
+	c.aggs[name] += delta
+}
+
+// Emit contributes a value to the run's distributed output.
+func (c *Context) Emit(v any) { c.emits = append(c.emits, v) }
+
+// AddOps records n units of per-vertex computation for the cost measures.
+func (c *Context) AddOps(n int) { c.ops += int64(n) }

@@ -1,0 +1,294 @@
+package bsp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// chainGraph builds v0 -e-> v1 -e-> ... -e-> v(n-1).
+func chainGraph(n int) (*Graph, LabelID) {
+	g := NewGraph()
+	lbl := g.Symbols.Intern("next")
+	vl := g.Symbols.Intern("node")
+	for i := 0; i < n; i++ {
+		g.AddVertex(vl, nil)
+	}
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(VertexID(i), VertexID(i+1), lbl)
+	}
+	g.Freeze()
+	return g, lbl
+}
+
+func TestSymbolTable(t *testing.T) {
+	s := NewSymbolTable()
+	a := s.Intern("R.A")
+	b := s.Intern("S.B")
+	if a == b {
+		t.Fatal("distinct names must intern to distinct ids")
+	}
+	if s.Intern("R.A") != a {
+		t.Error("re-intern must be stable")
+	}
+	if s.Name(a) != "R.A" || s.Name(NoLabel) != "" {
+		t.Error("Name lookup failed")
+	}
+	if s.Lookup("S.B") != b || s.Lookup("missing") != NoLabel {
+		t.Error("Lookup failed")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSymbolTableInternProperty(t *testing.T) {
+	f := func(names []string) bool {
+		s := NewSymbolTable()
+		seen := map[string]LabelID{}
+		for _, n := range names {
+			id := s.Intern(n)
+			if prev, ok := seen[n]; ok && prev != id {
+				return false
+			}
+			seen[n] = id
+			if s.Name(id) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphEdgesWithLabel(t *testing.T) {
+	g := NewGraph()
+	a := g.Symbols.Intern("a")
+	b := g.Symbols.Intern("b")
+	v0 := g.AddVertex(a, nil)
+	v1 := g.AddVertex(a, nil)
+	v2 := g.AddVertex(b, nil)
+	g.AddEdge(v0, v1, a)
+	g.AddEdge(v0, v2, b)
+	g.AddEdge(v0, v2, a)
+	g.Freeze()
+
+	ea := g.EdgesWithLabel(v0, a)
+	if len(ea) != 2 {
+		t.Fatalf("label a edges = %d, want 2", len(ea))
+	}
+	if g.DegreeWithLabel(v0, b) != 1 {
+		t.Error("degree with label b wrong")
+	}
+	if !g.HasEdgeWithLabel(v0, b) || g.HasEdgeWithLabel(v1, b) {
+		t.Error("HasEdgeWithLabel wrong")
+	}
+	if got := g.VerticesWithLabel(a); len(got) != 2 {
+		t.Errorf("VerticesWithLabel = %v", got)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestGraphRemoveEdge(t *testing.T) {
+	g := NewGraph()
+	l := g.Symbols.Intern("l")
+	v0 := g.AddVertex(l, nil)
+	v1 := g.AddVertex(l, nil)
+	g.AddEdge(v0, v1, l)
+	g.AddEdge(v0, v1, l)
+	g.RemoveEdge(v0, v1, l)
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges after remove = %d", g.NumEdges())
+	}
+	g.Freeze()
+	if g.HasEdgeWithLabel(v0, l) {
+		t.Error("edge should be gone")
+	}
+}
+
+func TestUndirectedEdge(t *testing.T) {
+	g := NewGraph()
+	l := g.Symbols.Intern("l")
+	a := g.AddVertex(l, nil)
+	b := g.AddVertex(l, nil)
+	g.AddUndirectedEdge(a, b, l)
+	g.Freeze()
+	if !g.HasEdgeWithLabel(a, l) || !g.HasEdgeWithLabel(b, l) {
+		t.Error("undirected edge must be traversable both ways")
+	}
+}
+
+// propagateProgram forwards a counter along "next" edges, incrementing it.
+type propagateProgram struct {
+	lbl LabelID
+}
+
+func (p *propagateProgram) Compute(ctx *Context, v VertexID, inbox []Message) {
+	ctx.AddOps(1)
+	if ctx.Step() == 0 {
+		ctx.SendAlong(v, p.lbl, int(1))
+		return
+	}
+	for _, m := range inbox {
+		hops := m.Payload.(int)
+		if ctx.SendAlong(v, p.lbl, hops+1) == 0 {
+			ctx.Emit(hops) // reached the chain end
+		}
+	}
+}
+
+func TestEngineChainPropagation(t *testing.T) {
+	const n = 10
+	g, lbl := chainGraph(n)
+	eng := NewEngine(g, Options{Workers: 4})
+	stats := eng.Run(&propagateProgram{lbl: lbl}, []VertexID{0})
+
+	if stats.Supersteps != n {
+		t.Errorf("supersteps = %d, want %d", stats.Supersteps, n)
+	}
+	if stats.Messages != n-1 {
+		t.Errorf("messages = %d, want %d", stats.Messages, n-1)
+	}
+	out := eng.Emitted()
+	if len(out) != 1 || out[0].(int) != n-1 {
+		t.Errorf("emitted = %v, want [%d]", out, n-1)
+	}
+}
+
+func TestEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	const n = 50
+	var base Stats
+	for i, workers := range []int{1, 2, 8} {
+		g, lbl := chainGraph(n)
+		eng := NewEngine(g, Options{Workers: workers})
+		stats := eng.Run(&propagateProgram{lbl: lbl}, []VertexID{0})
+		if i == 0 {
+			base = stats
+			continue
+		}
+		if stats.Messages != base.Messages || stats.Supersteps != base.Supersteps {
+			t.Errorf("workers=%d: stats %v differ from %v", workers, stats, base)
+		}
+	}
+}
+
+// fanoutProgram: root messages all neighbors, each replies to an aggregator count.
+type fanoutProgram struct{ lbl LabelID }
+
+func (p *fanoutProgram) Compute(ctx *Context, v VertexID, inbox []Message) {
+	if ctx.Step() == 0 {
+		ctx.SendAlong(v, p.lbl, nil)
+		return
+	}
+	ctx.AddInt("reached", 1)
+}
+
+func TestEngineAggregator(t *testing.T) {
+	g := NewGraph()
+	l := g.Symbols.Intern("e")
+	root := g.AddVertex(l, nil)
+	for i := 0; i < 5; i++ {
+		leaf := g.AddVertex(l, nil)
+		g.AddEdge(root, leaf, l)
+	}
+	g.Freeze()
+	eng := NewEngine(g, Options{Workers: 3})
+	eng.Run(&fanoutProgram{lbl: l}, []VertexID{root})
+	if got := eng.AggInt("reached"); got != 5 {
+		t.Errorf("aggregator = %d, want 5", got)
+	}
+}
+
+func TestEngineNetworkAccounting(t *testing.T) {
+	const n = 10
+	g, lbl := chainGraph(n)
+	// Partition even/odd: every chain hop crosses partitions.
+	eng := NewEngine(g, Options{
+		Workers:     2,
+		Partitions:  2,
+		PartitionOf: func(v VertexID) int { return int(v) % 2 },
+		PayloadSize: func(any) int { return 16 },
+	})
+	stats := eng.Run(&propagateProgram{lbl: lbl}, []VertexID{0})
+	if stats.NetworkMessages != n-1 {
+		t.Errorf("network messages = %d, want %d", stats.NetworkMessages, n-1)
+	}
+	if stats.NetworkBytes != (n-1)*16 {
+		t.Errorf("network bytes = %d, want %d", stats.NetworkBytes, (n-1)*16)
+	}
+}
+
+// haltMaster halts before the second superstep.
+type haltMaster struct{ lbl LabelID }
+
+func (p *haltMaster) Compute(ctx *Context, v VertexID, inbox []Message) {
+	ctx.SendAlong(v, p.lbl, nil)
+}
+
+func (p *haltMaster) BeforeSuperstep(step int, eng *Engine) bool { return step < 1 }
+
+func TestEngineMasterHalt(t *testing.T) {
+	g, lbl := chainGraph(5)
+	eng := NewEngine(g, Options{Workers: 1})
+	stats := eng.Run(&haltMaster{lbl: lbl}, []VertexID{0})
+	if stats.Supersteps != 1 {
+		t.Errorf("supersteps = %d, want 1 (master halted)", stats.Supersteps)
+	}
+}
+
+func TestEngineSequentialRunsIsolated(t *testing.T) {
+	g, lbl := chainGraph(5)
+	eng := NewEngine(g, Options{Workers: 2})
+	s1 := eng.Run(&haltMaster{lbl: lbl}, []VertexID{0})
+	// The halted run left undelivered messages; the next run must not see them.
+	s2 := eng.Run(&propagateProgram{lbl: lbl}, []VertexID{0})
+	if s1.Messages != 1 {
+		t.Errorf("first run messages = %d", s1.Messages)
+	}
+	if s2.Supersteps != 5 || s2.Messages != 4 {
+		t.Errorf("second run stats = %v", s2)
+	}
+	total := eng.Stats()
+	if total.Messages != s1.Messages+s2.Messages {
+		t.Errorf("accumulated messages = %d", total.Messages)
+	}
+}
+
+func TestEngineMaxSupersteps(t *testing.T) {
+	// Self-loop ping-pong would run forever without the guard.
+	g := NewGraph()
+	l := g.Symbols.Intern("self")
+	v := g.AddVertex(l, nil)
+	g.AddEdge(v, v, l)
+	g.Freeze()
+	eng := NewEngine(g, Options{Workers: 1, MaxSupersteps: 7})
+	prog := ProgramFunc(func(ctx *Context, v VertexID, inbox []Message) {
+		ctx.SendAlong(v, l, nil)
+	})
+	stats := eng.Run(prog, []VertexID{v})
+	if stats.Supersteps != 7 {
+		t.Errorf("supersteps = %d, want 7", stats.Supersteps)
+	}
+}
+
+func TestStatsAddAndString(t *testing.T) {
+	a := Stats{Supersteps: 1, Messages: 2, MessageBytes: 3, ComputeOps: 4}
+	b := Stats{Supersteps: 10, Messages: 20, NetworkBytes: 5}
+	a.Add(b)
+	if a.Supersteps != 11 || a.Messages != 22 || a.NetworkBytes != 5 {
+		t.Errorf("Add result = %+v", a)
+	}
+	if a.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestGraphByteSize(t *testing.T) {
+	g, _ := chainGraph(3)
+	if g.ByteSize() <= 0 {
+		t.Error("byte size should be positive")
+	}
+}

@@ -1,0 +1,189 @@
+package bsp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID indexes a vertex in a Graph.
+type VertexID int32
+
+// Edge is a directed, labeled edge. Undirected relationships (like TAG
+// edges, footnote 3 of the paper) are modeled as two directed edges.
+type Edge struct {
+	Label LabelID
+	To    VertexID
+}
+
+// vertex is the engine-internal vertex record.
+type vertex struct {
+	label LabelID
+	data  any
+	edges []Edge // sorted by (Label, To) after Freeze
+	// labelIndex[i] is the start of the i-th distinct label run in edges;
+	// built by Freeze for O(log L) per-label slicing.
+	labelStart []int32
+	labelIDs   []LabelID
+}
+
+// Graph is a labeled directed multigraph with per-vertex payloads.
+// Build with AddVertex/AddEdge, then call Freeze before running programs.
+type Graph struct {
+	Symbols  *SymbolTable
+	vertices []vertex
+	frozen   bool
+	numEdges int
+}
+
+// NewGraph returns an empty graph with a fresh symbol table.
+func NewGraph() *Graph {
+	return &Graph{Symbols: NewSymbolTable()}
+}
+
+// AddVertex creates a vertex with the given label id and payload.
+func (g *Graph) AddVertex(label LabelID, data any) VertexID {
+	if g.frozen {
+		panic("bsp: AddVertex after Freeze")
+	}
+	g.vertices = append(g.vertices, vertex{label: label, data: data})
+	return VertexID(len(g.vertices) - 1)
+}
+
+// AddEdge adds a directed labeled edge.
+func (g *Graph) AddEdge(from, to VertexID, label LabelID) {
+	if g.frozen {
+		panic("bsp: AddEdge after Freeze")
+	}
+	v := &g.vertices[from]
+	v.edges = append(v.edges, Edge{Label: label, To: to})
+	g.numEdges++
+}
+
+// AddUndirectedEdge adds the two directed edges modeling an undirected one.
+func (g *Graph) AddUndirectedEdge(a, b VertexID, label LabelID) {
+	g.AddEdge(a, b, label)
+	g.AddEdge(b, a, label)
+}
+
+// RemoveEdge deletes all (from -> to) edges with the given label.
+// Only valid before Freeze; used by incremental TAG maintenance.
+func (g *Graph) RemoveEdge(from, to VertexID, label LabelID) {
+	if g.frozen {
+		panic("bsp: RemoveEdge after Freeze")
+	}
+	v := &g.vertices[from]
+	kept := v.edges[:0]
+	for _, e := range v.edges {
+		if e.To == to && e.Label == label {
+			g.numEdges--
+			continue
+		}
+		kept = append(kept, e)
+	}
+	v.edges = kept
+}
+
+// Freeze sorts adjacency lists by label and builds the per-label index.
+// The graph is immutable afterwards (vertex payloads may still change).
+func (g *Graph) Freeze() {
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		sort.Slice(v.edges, func(a, b int) bool {
+			if v.edges[a].Label != v.edges[b].Label {
+				return v.edges[a].Label < v.edges[b].Label
+			}
+			return v.edges[a].To < v.edges[b].To
+		})
+		v.labelIDs = v.labelIDs[:0]
+		v.labelStart = v.labelStart[:0]
+		for j, e := range v.edges {
+			if j == 0 || e.Label != v.edges[j-1].Label {
+				v.labelIDs = append(v.labelIDs, e.Label)
+				v.labelStart = append(v.labelStart, int32(j))
+			}
+		}
+		v.labelStart = append(v.labelStart, int32(len(v.edges)))
+	}
+	g.frozen = true
+}
+
+// Thaw re-enables mutation (incremental maintenance); Freeze must be
+// called again before running programs.
+func (g *Graph) Thaw() { g.frozen = false }
+
+// Frozen reports whether the graph has been frozen.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Label returns the label of v.
+func (g *Graph) Label(v VertexID) LabelID { return g.vertices[v].label }
+
+// Data returns the payload of v.
+func (g *Graph) Data(v VertexID) any { return g.vertices[v].data }
+
+// SetData replaces the payload of v.
+func (g *Graph) SetData(v VertexID, data any) { g.vertices[v].data = data }
+
+// Edges returns the full adjacency list of v (read-only).
+func (g *Graph) Edges(v VertexID) []Edge { return g.vertices[v].edges }
+
+// EdgesWithLabel returns the contiguous run of v's edges carrying the
+// label, as a sub-slice of the frozen adjacency list.
+func (g *Graph) EdgesWithLabel(v VertexID, label LabelID) []Edge {
+	vx := &g.vertices[v]
+	if !g.frozen {
+		panic("bsp: EdgesWithLabel before Freeze")
+	}
+	i := sort.Search(len(vx.labelIDs), func(k int) bool { return vx.labelIDs[k] >= label })
+	if i == len(vx.labelIDs) || vx.labelIDs[i] != label {
+		return nil
+	}
+	return vx.edges[vx.labelStart[i]:vx.labelStart[i+1]]
+}
+
+// DegreeWithLabel returns the number of v's out-edges carrying label;
+// this is the §6.1.2 heavy/light occurrence count.
+func (g *Graph) DegreeWithLabel(v VertexID, label LabelID) int {
+	return len(g.EdgesWithLabel(v, label))
+}
+
+// HasEdgeWithLabel reports whether v has at least one out-edge with label.
+func (g *Graph) HasEdgeWithLabel(v VertexID, label LabelID) bool {
+	return len(g.EdgesWithLabel(v, label)) > 0
+}
+
+// VerticesWithLabel returns all vertex ids carrying the vertex label.
+func (g *Graph) VerticesWithLabel(label LabelID) []VertexID {
+	var out []VertexID
+	for i := range g.vertices {
+		if g.vertices[i].label == label {
+			out = append(out, VertexID(i))
+		}
+	}
+	return out
+}
+
+// ByteSize estimates the in-memory footprint of the graph structure plus
+// payloads that implement interface{ Size() int }; used by the Figure 14
+// load-size experiment.
+func (g *Graph) ByteSize() int {
+	n := 0
+	for i := range g.vertices {
+		v := &g.vertices[i]
+		n += 16 + len(v.edges)*8
+		if s, ok := v.data.(interface{ Size() int }); ok {
+			n += s.Size()
+		}
+	}
+	return n
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph{%d vertices, %d edges, %d labels}", g.NumVertices(), g.NumEdges(), g.Symbols.Len())
+}

@@ -1,0 +1,104 @@
+// Package cluster simulates the distributed experiments of §8.6: the
+// same TAG-join programs run over a TAG graph whose vertices are hash-
+// partitioned across N simulated machines, with every message that
+// crosses a partition boundary counted as network traffic; the Spark SQL
+// stand-in executes the same queries with shuffle/broadcast joins whose
+// exchanged bytes are counted the same way. This regenerates Figure 16's
+// runtime and network-traffic comparison and Tables 16-17.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/tag"
+)
+
+// Result is one query execution on the simulated cluster.
+type Result struct {
+	Engine          string
+	QueryID         string
+	Elapsed         time.Duration
+	Rows            int
+	NetworkBytes    int64
+	NetworkMessages int64
+}
+
+// Cluster is a fixed catalog partitioned over Machines workers.
+type Cluster struct {
+	Machines int
+	Cat      *relation.Catalog
+	TAG      *tag.Graph
+	ex       *core.Executor
+}
+
+// New builds the TAG encoding and prepares both engines.
+func New(cat *relation.Catalog, machines int) (*Cluster, error) {
+	if machines < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 machine")
+	}
+	g, err := tag.Build(cat, nil)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Machines: machines, Cat: cat, TAG: g}
+	c.ex = core.NewExecutor(g, bsp.Options{
+		Partitions: machines,
+		// TigerGraph-style automatic partitioning: hash by vertex id.
+		PartitionOf: func(v bsp.VertexID) int { return int(v) % machines },
+	})
+	return c, nil
+}
+
+// RunTAG executes a query with the TAG-join executor, attributing
+// cross-partition messages to the network.
+func (c *Cluster) RunTAG(id, query string) (Result, error) {
+	c.ex.ResetStats()
+	start := time.Now()
+	out, err := c.ex.Query(query)
+	if err != nil {
+		return Result{}, fmt.Errorf("cluster: tag %s: %w", id, err)
+	}
+	st := c.ex.Stats()
+	return Result{
+		Engine: "tag", QueryID: id, Elapsed: time.Since(start),
+		Rows: out.Len(), NetworkBytes: st.NetworkBytes, NetworkMessages: st.NetworkMessages,
+	}, nil
+}
+
+// RunShuffle executes a query with the Spark-SQL-like shuffle engine.
+func (c *Cluster) RunShuffle(id, query string) (Result, error) {
+	eng := baseline.NewShuffle(c.Cat, c.Machines)
+	start := time.Now()
+	out, err := eng.Query(query)
+	if err != nil {
+		return Result{}, fmt.Errorf("cluster: shuffle %s: %w", id, err)
+	}
+	return Result{
+		Engine: "shuffle", QueryID: id, Elapsed: time.Since(start),
+		Rows: out.Len(), NetworkBytes: eng.Stats.NetworkBytes(),
+		NetworkMessages: eng.Stats.ShuffledRows + eng.Stats.BroadcastRows,
+	}, nil
+}
+
+// Compare runs a query on both engines and checks that they agree.
+func (c *Cluster) Compare(id, query string) (tagRes, shfRes Result, err error) {
+	tagRes, err = c.RunTAG(id, query)
+	if err != nil {
+		return
+	}
+	shfRes, err = c.RunShuffle(id, query)
+	if err != nil {
+		return
+	}
+	tagOut, _ := c.ex.Query(query)
+	shfOut, _ := baseline.NewShuffle(c.Cat, c.Machines).Query(query)
+	if !relation.EqualMultisetFuzzy(tagOut, shfOut) {
+		err = fmt.Errorf("cluster: %s: engines disagree (%d vs %d rows)", id, tagOut.Len(), shfOut.Len())
+	}
+	return
+}

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+func TestClusterTrafficAccounting(t *testing.T) {
+	cat := tpch.Generate(0.3, 9)
+	c, err := New(cat, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := tpch.ByID("q3")
+	tagRes, shfRes, err := c.Compare(q.ID, q.SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tagRes.NetworkBytes == 0 {
+		t.Error("TAG run on 6 machines should incur network traffic")
+	}
+	if shfRes.NetworkBytes == 0 {
+		t.Error("shuffle run should incur network traffic")
+	}
+	if tagRes.Rows != shfRes.Rows {
+		t.Errorf("row counts differ: %d vs %d", tagRes.Rows, shfRes.Rows)
+	}
+}
+
+func TestSingleMachineNoTraffic(t *testing.T) {
+	cat := tpch.Generate(0.3, 9)
+	c, err := New(cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunTAG("q6", tpch.ByID("q6").SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetworkBytes != 0 {
+		t.Errorf("single machine should have zero network traffic, got %d", res.NetworkBytes)
+	}
+}
+
+func TestBadMachineCount(t *testing.T) {
+	if _, err := New(tpch.Generate(0.2, 1), 0); err == nil {
+		t.Error("0 machines should error")
+	}
+}
+
+func TestWorkloadOnCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster workload in -short mode")
+	}
+	cat := tpch.Generate(0.3, 9)
+	c, err := New(cat, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"q1", "q4", "q5", "q10", "q14"} {
+		q := tpch.ByID(id)
+		if _, _, err := c.Compare(q.ID, q.SQL); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,596 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/bsp"
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// groupAcc is one (partial) aggregation group: the evaluated GROUP BY key
+// values, a representative source row, and partial accumulators.
+type groupAcc struct {
+	key  []relation.Value
+	rep  []relation.Value
+	aggs []*sql.Aggregator
+}
+
+// partialGroups is the message payload of the aggregation finalization:
+// a vertex's locally pre-aggregated groups (the eager aggregation of §7).
+type partialGroups struct {
+	header []string
+	groups []*groupAcc
+}
+
+func (p *partialGroups) size() int {
+	n := 16
+	for _, g := range p.groups {
+		for _, v := range g.key {
+			n += v.Size()
+		}
+		n += 32 * len(g.aggs)
+	}
+	return n
+}
+
+// aggSetup precomputes the aggregate slot assignment and rewritten
+// SELECT/HAVING expressions of a block.
+type aggSetup struct {
+	list   []*sql.FuncCall
+	items  []sql.Expr
+	having sql.Expr
+}
+
+func newAggSetup(blk *sql.Analyzed) *aggSetup {
+	slots := map[*sql.FuncCall]int{}
+	for _, f := range blk.Aggregates {
+		if _, ok := slots[f]; !ok {
+			slots[f] = len(slots)
+		}
+	}
+	s := &aggSetup{list: make([]*sql.FuncCall, len(slots))}
+	for f, i := range slots {
+		s.list[i] = f
+	}
+	slotOf := func(f *sql.FuncCall) int { return slots[f] }
+	for _, it := range blk.Sel.Items {
+		s.items = append(s.items, sql.RewriteAggregates(it.Expr, slotOf))
+	}
+	s.having = sql.RewriteAggregates(blk.Sel.Having, slotOf)
+	return s
+}
+
+func (s *aggSetup) newAccs() []*sql.Aggregator {
+	out := make([]*sql.Aggregator, len(s.list))
+	for i, f := range s.list {
+		out[i] = sql.NewAggregator(f)
+	}
+	return out
+}
+
+// groupKeyString canonicalizes a key tuple.
+func groupKeyString(key []relation.Value) string {
+	var b strings.Builder
+	for i, v := range key {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		k := v.Key()
+		b.WriteByte(byte(k.Kind) + '0')
+		b.WriteString(k.String())
+	}
+	return b.String()
+}
+
+// groupLocally folds rows into per-group partial accumulators; groupBy
+// and aggregate arguments must be vertex-safe expressions.
+func (e *Executor) groupLocally(c *compiled, setup *aggSetup, t *table, rows [][]relation.Value, outer *sql.Env) (map[string]*groupAcc, []string, error) {
+	env := &sql.Env{Binding: sql.Binding(t.index), Parent: outer}
+	groups := map[string]*groupAcc{}
+	var order []string
+	for _, row := range rows {
+		env.Row = relation.Tuple(row)
+		key := make([]relation.Value, len(c.blk.Sel.GroupBy))
+		for i, g := range c.blk.Sel.GroupBy {
+			v, err := sql.Eval(g, env, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			key[i] = v
+		}
+		ks := groupKeyString(key)
+		grp := groups[ks]
+		if grp == nil || e.DisablePartialAgg {
+			// With eager aggregation disabled (ablation), every row ships
+			// as its own single-row partial; receivers still merge by key.
+			if e.DisablePartialAgg {
+				ks = fmt.Sprintf("%s\x00%d", ks, len(order))
+			}
+			grp = &groupAcc{key: key, rep: row, aggs: setup.newAccs()}
+			groups[ks] = grp
+			order = append(order, ks)
+		}
+		for i, f := range setup.list {
+			var v relation.Value
+			if f.Star {
+				v = relation.Int(1)
+			} else {
+				var err error
+				v, err = sql.Eval(f.Args[0], env, nil)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			grp.aggs[i].Observe(v)
+		}
+	}
+	return groups, order, nil
+}
+
+// residualRows applies the block's residual predicates to a table's rows.
+func (e *Executor) residualRows(c *compiled, t *table, outer *sql.Env) ([][]relation.Value, error) {
+	if len(c.residual) == 0 {
+		return t.rows, nil
+	}
+	env := &sql.Env{Binding: sql.Binding(t.index), Parent: outer}
+	var out [][]relation.Value
+	for _, row := range t.rows {
+		env.Row = relation.Tuple(row)
+		keep := true
+		for _, p := range c.residual {
+			ok, err := p.eval(env, nil)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// vertexTable returns the collection value of a survivor vertex.
+func (res *componentResult) vertexTable(v bsp.VertexID) *table {
+	if res.values == nil {
+		return res.run.ownRow(res.rootAlias, v)
+	}
+	return res.values[v]
+}
+
+// finalizeNone handles blocks without aggregation: survivors filter their
+// tables vertex-parallel and emit rows; projection happens centrally.
+func (e *Executor) finalizeNone(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+	var errMu sync.Mutex
+	var firstErr error
+	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
+		t := res.vertexTable(v)
+		if t == nil {
+			return
+		}
+		rows, err := e.residualRows(c, t, outer)
+		ctx.AddOps(len(t.rows))
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		if len(rows) > 0 {
+			out := newTableShared(t.header, t.index)
+			out.rows = rows
+			ctx.Emit(out)
+		}
+	})
+	e.eng.Run(prog, res.survivors)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var all *table
+	for _, em := range e.eng.Emitted() {
+		t := em.(*table)
+		if all == nil {
+			all = newTableShared(t.header, t.index)
+		}
+		all.rows = append(all.rows, t.rows...)
+	}
+	if all == nil {
+		all = newTable(c.componentHeader(c.qp.Components[0]))
+	}
+	return e.projectCentral(c, all, outer, subq)
+}
+
+// finalizeLocal is the §7 local-aggregation path: survivors pre-aggregate
+// their rows and send the partial groups to the attribute vertex of the
+// group key, where each group's aggregation completes in parallel with
+// all other groups.
+func (e *Executor) finalizeLocal(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+	setup := newAggSetup(c.blk)
+	attrMerged := map[string]*groupAcc{}
+	var attrOrder []string
+	var headerOnce sync.Once
+	var srcHeader []string
+
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
+		switch ctx.Step() {
+		case 0:
+			t := res.vertexTable(v)
+			if t == nil {
+				return
+			}
+			headerOnce.Do(func() { srcHeader = t.header })
+			rows, err := e.residualRows(c, t, outer)
+			if err != nil {
+				setErr(err)
+				return
+			}
+			groups, order, err := e.groupLocally(c, setup, t, rows, outer)
+			if err != nil {
+				setErr(err)
+				return
+			}
+			ctx.AddOps(len(t.rows) + len(order))
+			// Partition groups by the attribute vertex of the first key.
+			byTarget := map[bsp.VertexID]*partialGroups{}
+			var targets []bsp.VertexID
+			for _, ks := range order {
+				g := groups[ks]
+				av, ok := e.TAG.AttrVertexOf(g.key[0])
+				if !ok {
+					av = e.TAG.Aggregator // NULL or unmaterialized key value
+				}
+				pg := byTarget[av]
+				if pg == nil {
+					pg = &partialGroups{header: t.header}
+					byTarget[av] = pg
+					targets = append(targets, av)
+				}
+				pg.groups = append(pg.groups, g)
+			}
+			for _, av := range targets {
+				ctx.Send(v, av, byTarget[av])
+			}
+		case 1:
+			// Attribute vertices merge the partials of their groups; each
+			// vertex handles its own groups independently (LA parallelism).
+			merged := map[string]*groupAcc{}
+			var order []string
+			for _, m := range inbox {
+				pg := m.Payload.(*partialGroups)
+				for _, g := range pg.groups {
+					ks := groupKeyString(g.key)
+					if have := merged[ks]; have != nil {
+						for i := range have.aggs {
+							have.aggs[i].Merge(g.aggs[i])
+						}
+					} else {
+						merged[ks] = g
+						order = append(order, ks)
+					}
+				}
+			}
+			ctx.AddOps(len(order))
+			for _, ks := range order {
+				ctx.Emit(merged[ks])
+			}
+		}
+	})
+	e.eng.Run(prog, res.survivors)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for _, em := range e.eng.Emitted() {
+		g := em.(*groupAcc)
+		ks := groupKeyString(g.key)
+		attrMerged[ks] = g
+		attrOrder = append(attrOrder, ks)
+	}
+	return e.projectGroups(c, setup, attrMerged, attrOrder, srcHeader, outer, subq)
+}
+
+// finalizeGlobal is the §7 global/scalar aggregation path: survivors send
+// partial groups to the single global aggregator vertex, which merges
+// them sequentially (the bottleneck the paper measures on GA queries).
+func (e *Executor) finalizeGlobal(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+	setup := newAggSetup(c.blk)
+	merged := map[string]*groupAcc{}
+	var order []string
+	var headerOnce sync.Once
+	var srcHeader []string
+
+	var errMu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	// With a partitioned (distributed) graph, partials are first combined
+	// at one relay vertex per machine, so only one combined message per
+	// machine crosses the network to the global aggregator — the
+	// per-machine accumulator combining of Pregel-style engines and the
+	// partial-aggregation optimization §7 describes.
+	relays := e.partitionRelays()
+	relayStep := 0
+	partOf := e.Opts.PartitionOf
+	if partOf == nil {
+		pn := e.Opts.Partitions
+		partOf = func(v bsp.VertexID) int {
+			if pn <= 1 {
+				return 0
+			}
+			return int(v) % pn
+		}
+	}
+	if len(relays) > 1 {
+		relayStep = 1
+	}
+	mergeInbox := func(ctx *bsp.Context, inbox []bsp.Message, local map[string]*groupAcc, lorder *[]string) {
+		for _, m := range inbox {
+			pg := m.Payload.(*partialGroups)
+			for _, g := range pg.groups {
+				ks := groupKeyString(g.key)
+				if have := local[ks]; have != nil {
+					for i := range have.aggs {
+						have.aggs[i].Merge(g.aggs[i])
+					}
+				} else {
+					local[ks] = g
+					*lorder = append(*lorder, ks)
+				}
+			}
+			ctx.AddOps(len(pg.groups))
+		}
+	}
+	relayAcc := make([]map[string]*groupAcc, len(relays))
+	relayOrder := make([][]string, len(relays))
+	relayOf := map[bsp.VertexID]int{}
+	for i, rv := range relays {
+		relayAcc[i] = map[string]*groupAcc{}
+		relayOf[rv] = i
+	}
+	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
+		switch {
+		case ctx.Step() == 0:
+			t := res.vertexTable(v)
+			if t == nil {
+				return
+			}
+			headerOnce.Do(func() { srcHeader = t.header })
+			rows, err := e.residualRows(c, t, outer)
+			if err != nil {
+				setErr(err)
+				return
+			}
+			groups, gorder, err := e.groupLocally(c, setup, t, rows, outer)
+			if err != nil {
+				setErr(err)
+				return
+			}
+			ctx.AddOps(len(t.rows) + len(gorder))
+			if len(gorder) == 0 {
+				return
+			}
+			pg := &partialGroups{header: t.header}
+			for _, ks := range gorder {
+				pg.groups = append(pg.groups, groups[ks])
+			}
+			if len(relays) > 1 {
+				ctx.Send(v, relays[partOf(v)], pg)
+			} else {
+				ctx.Send(v, e.TAG.Aggregator, pg)
+			}
+		case ctx.Step() == relayStep && len(relays) > 1:
+			// Per-machine relay: combine and forward one message.
+			i := relayOf[v]
+			mergeInbox(ctx, inbox, relayAcc[i], &relayOrder[i])
+			pg := &partialGroups{}
+			for _, ks := range relayOrder[i] {
+				pg.groups = append(pg.groups, relayAcc[i][ks])
+			}
+			if len(pg.groups) > 0 {
+				ctx.Send(v, e.TAG.Aggregator, pg)
+			}
+		case ctx.Step() == relayStep+1:
+			// The single aggregator vertex merges everything (the GA
+			// bottleneck of §8.3).
+			mergeInbox(ctx, inbox, merged, &order)
+		}
+	})
+	e.eng.Run(prog, res.survivors)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return e.projectGroups(c, setup, merged, order, srcHeader, outer, subq)
+}
+
+// projectGroups applies HAVING and the SELECT list to merged groups.
+// srcHeader is the header the representative rows were built against.
+func (e *Executor) projectGroups(c *compiled, setup *aggSetup, groups map[string]*groupAcc, order []string, srcHeader []string, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+	blk := c.blk
+	out := relation.New("result", blk.OutputSchema())
+
+	header := srcHeader
+	if header == nil {
+		if c.qp != nil && len(c.qp.Components) == 1 {
+			header = c.componentHeader(c.qp.Components[0])
+		} else {
+			header = c.canonicalHeader()
+		}
+	}
+
+	// Scalar aggregation over empty input still yields one row.
+	if len(blk.Sel.GroupBy) == 0 && blk.HasAgg && len(order) == 0 {
+		g := &groupAcc{rep: make([]relation.Value, len(header)), aggs: setup.newAccs()}
+		groups = map[string]*groupAcc{"": g}
+		order = []string{""}
+	}
+	binding := sql.Binding{}
+	for i, h := range header {
+		binding[h] = i
+	}
+
+	for _, ks := range order {
+		g := groups[ks]
+		rep := g.rep
+		if len(rep) < len(header) {
+			padded := make([]relation.Value, len(header))
+			copy(padded, rep)
+			rep = padded
+		}
+		env := &sql.Env{Binding: binding, Row: rep, Parent: outer,
+			Aggs: make([]relation.Value, len(g.aggs))}
+		for i, a := range g.aggs {
+			env.Aggs[i] = a.Result()
+		}
+		if setup.having != nil {
+			v, err := sql.Eval(setup.having, env, subq)
+			if err != nil {
+				return nil, err
+			}
+			if !v.AsBool() {
+				continue
+			}
+		}
+		row := make(relation.Tuple, len(setup.items))
+		for i, it := range setup.items {
+			v, err := sql.Eval(it, env, subq)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return dedup(out, blk.Sel.Distinct), nil
+}
+
+// projectRows is the central grouping/projection used by the assembled
+// (non-distributed) path.
+func projectRows(blk *sql.Analyzed, binding sql.Binding, rows []relation.Tuple, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+	sel := blk.Sel
+	out := relation.New("result", blk.OutputSchema())
+
+	if !blk.HasAgg && len(sel.GroupBy) == 0 {
+		env := &sql.Env{Binding: binding, Parent: outer}
+		for _, row := range rows {
+			env.Row = row
+			t := make(relation.Tuple, len(sel.Items))
+			for i, item := range sel.Items {
+				v, err := sql.Eval(item.Expr, env, subq)
+				if err != nil {
+					return nil, err
+				}
+				t[i] = v
+			}
+			out.Tuples = append(out.Tuples, t)
+		}
+		return dedup(out, sel.Distinct), nil
+	}
+
+	setup := newAggSetup(blk)
+	groups := map[string]*groupAcc{}
+	var order []string
+	env := &sql.Env{Binding: binding, Parent: outer}
+	for _, row := range rows {
+		env.Row = row
+		key := make([]relation.Value, len(sel.GroupBy))
+		for i, g := range sel.GroupBy {
+			v, err := sql.Eval(g, env, subq)
+			if err != nil {
+				return nil, err
+			}
+			key[i] = v
+		}
+		ks := groupKeyString(key)
+		grp := groups[ks]
+		if grp == nil {
+			grp = &groupAcc{key: key, rep: row, aggs: setup.newAccs()}
+			groups[ks] = grp
+			order = append(order, ks)
+		}
+		for i, f := range setup.list {
+			var v relation.Value
+			if f.Star {
+				v = relation.Int(1)
+			} else {
+				var err error
+				v, err = sql.Eval(f.Args[0], env, subq)
+				if err != nil {
+					return nil, err
+				}
+			}
+			grp.aggs[i].Observe(v)
+		}
+	}
+	if len(sel.GroupBy) == 0 && len(order) == 0 {
+		g := &groupAcc{rep: make([]relation.Value, len(binding)), aggs: setup.newAccs()}
+		groups[""] = g
+		order = append(order, "")
+	}
+	for _, ks := range order {
+		g := groups[ks]
+		genv := &sql.Env{Binding: binding, Row: g.rep, Parent: outer,
+			Aggs: make([]relation.Value, len(g.aggs))}
+		for i, a := range g.aggs {
+			genv.Aggs[i] = a.Result()
+		}
+		if setup.having != nil {
+			v, err := sql.Eval(setup.having, genv, subq)
+			if err != nil {
+				return nil, err
+			}
+			if !v.AsBool() {
+				continue
+			}
+		}
+		row := make(relation.Tuple, len(setup.items))
+		for i, it := range setup.items {
+			v, err := sql.Eval(it, genv, subq)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.Tuples = append(out.Tuples, row)
+	}
+	return dedup(out, sel.Distinct), nil
+}
+
+// dedup removes duplicate tuples when DISTINCT is set.
+func dedup(r *relation.Relation, enabled bool) *relation.Relation {
+	if !enabled {
+		return r
+	}
+	seen := map[string]bool{}
+	kept := r.Tuples[:0]
+	for _, t := range r.Tuples {
+		k := groupKeyString(t)
+		if !seen[k] {
+			seen[k] = true
+			kept = append(kept, t)
+		}
+	}
+	r.Tuples = kept
+	return r
+}

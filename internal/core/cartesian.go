@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/relation"
+)
+
+// CartesianA computes R × S with the naive centralized Algorithm A of
+// §6.3: every tuple vertex of both relations sends its data to the global
+// aggregator vertex, which builds the product sequentially. Communication
+// is O(|R|+|S|) but computation is centralized.
+func (e *Executor) CartesianA(tableR, tableS string) (*relation.Relation, error) {
+	relR, relS := e.TAG.Catalog.Get(tableR), e.TAG.Catalog.Get(tableS)
+	if relR == nil || relS == nil {
+		return nil, fmt.Errorf("core: unknown relation %q or %q", tableR, tableS)
+	}
+	out := relation.New("product", productSchema(relR, relS))
+	agg := e.TAG.Aggregator
+
+	type msg struct {
+		left bool
+		row  relation.Tuple
+	}
+	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
+		ctx.AddOps(1 + len(inbox))
+		if ctx.Step() == 0 {
+			d := e.TAG.TupleData(v)
+			if d == nil || d.Dead {
+				return
+			}
+			ctx.Send(v, agg, msg{left: d.Table == lower(tableR), row: d.Row})
+			return
+		}
+		// The aggregator vertex combines sequentially (the whole point of
+		// Algorithm A's critique).
+		var ls, rs []relation.Tuple
+		for _, m := range inbox {
+			p := m.Payload.(msg)
+			if p.left {
+				ls = append(ls, p.row)
+			} else {
+				rs = append(rs, p.row)
+			}
+		}
+		for _, l := range ls {
+			for _, r := range rs {
+				ctx.Emit(l.Concat(r))
+				ctx.AddOps(1)
+			}
+		}
+	})
+	initial := append(append([]bsp.VertexID{}, e.TAG.TupleVertices(tableR)...), e.TAG.TupleVertices(tableS)...)
+	e.eng.Run(prog, initial)
+	for _, em := range e.eng.Emitted() {
+		out.Tuples = append(out.Tuples, em.(relation.Tuple))
+	}
+	return out, nil
+}
+
+// CartesianB computes R × S with the distributed Algorithm B of §6.3: the
+// aggregator relays R-vertex ids to every S vertex, S vertices forward
+// their tuples to all R vertices, and each R vertex builds its slice of
+// the product in parallel. Total communication is O(|R|·|S|) — the size
+// of the answer — but the computation is spread over the R vertices.
+func (e *Executor) CartesianB(tableR, tableS string) (*relation.Relation, error) {
+	relR, relS := e.TAG.Catalog.Get(tableR), e.TAG.Catalog.Get(tableS)
+	if relR == nil || relS == nil {
+		return nil, fmt.Errorf("core: unknown relation %q or %q", tableR, tableS)
+	}
+	out := relation.New("product", productSchema(relR, relS))
+	agg := e.TAG.Aggregator
+	lowR := lower(tableR)
+
+	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
+		ctx.AddOps(1 + len(inbox))
+		switch ctx.Step() {
+		case 0:
+			d := e.TAG.TupleData(v)
+			if d == nil || d.Dead {
+				return
+			}
+			ctx.Send(v, agg, d.Table == lowR)
+		case 1:
+			// Aggregator: transmit the R ids to each S vertex.
+			var rIDs []bsp.VertexID
+			var sIDs []bsp.VertexID
+			for _, m := range inbox {
+				if m.Payload.(bool) {
+					rIDs = append(rIDs, m.From)
+				} else {
+					sIDs = append(sIDs, m.From)
+				}
+			}
+			for _, s := range sIDs {
+				ctx.Send(v, s, rIDs)
+			}
+		case 2:
+			// S vertices broadcast their tuple to every R vertex.
+			d := e.TAG.TupleData(v)
+			for _, m := range inbox {
+				for _, r := range m.Payload.([]bsp.VertexID) {
+					ctx.Send(v, r, d.Row)
+				}
+			}
+		case 3:
+			// R vertices combine in parallel; the product stays
+			// distributed over them (we emit for collection here).
+			d := e.TAG.TupleData(v)
+			for _, m := range inbox {
+				ctx.Emit(d.Row.Concat(m.Payload.(relation.Tuple)))
+				ctx.AddOps(1)
+			}
+		}
+	})
+	initial := append(append([]bsp.VertexID{}, e.TAG.TupleVertices(tableR)...), e.TAG.TupleVertices(tableS)...)
+	e.eng.Run(prog, initial)
+	for _, em := range e.eng.Emitted() {
+		out.Tuples = append(out.Tuples, em.(relation.Tuple))
+	}
+	return out, nil
+}
+
+func productSchema(r, s *relation.Relation) *relation.Schema {
+	var cols []relation.Column
+	for _, c := range r.Schema.Columns {
+		cols = append(cols, relation.Column{Name: r.Name + "_" + c.Name, Kind: c.Kind})
+	}
+	for _, c := range s.Schema.Columns {
+		cols = append(cols, relation.Column{Name: s.Name + "_" + c.Name, Kind: c.Kind})
+	}
+	return relation.MustSchema(cols...)
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// collectionProgram runs the collection phase of Algorithm 2 (§5.2): a
+// second connected bottom-up pass over the marked subgraph in which
+// messages carry partial join tables. Each vertex joins the tables it
+// receives (union within a superstep — they come from the same plan edge
+// — and natural join with its own tuple at relation vertices), then
+// forwards its value along the current step's marked edges.
+type collectionProgram struct {
+	r   *componentRun
+	cur int
+}
+
+// BeforeSuperstep drives the bottom-up label schedule once more and
+// allows one final superstep for the root to absorb its inbox.
+func (p *collectionProgram) BeforeSuperstep(step int, eng *bsp.Engine) bool {
+	p.cur = step
+	return step <= p.r.nUp
+}
+
+// Compute is the per-vertex collection kernel.
+func (p *collectionProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
+	r := p.r
+	pl := r.comp.TAGPlan
+
+	// Union the incoming tables (same plan edge => same header): a single
+	// append pass, not pairwise unions.
+	var value *table
+	if len(inbox) == 1 {
+		value = inbox[0].Payload.(*table)
+	} else if len(inbox) > 1 {
+		first := inbox[0].Payload.(*table)
+		total := 0
+		for _, m := range inbox {
+			total += len(m.Payload.(*table).rows)
+		}
+		value = newTableShared(first.header, first.index)
+		value.rows = make([][]relation.Value, 0, total)
+		for _, m := range inbox {
+			value.rows = append(value.rows, m.Payload.(*table).rows...)
+		}
+	}
+	ctx.AddOps(1 + len(inbox))
+
+	// Determine the plan node this superstep addresses: the To node of
+	// the previous step (or the start leaf at superstep 0).
+	var node plan.Node
+	if p.cur == 0 {
+		node = pl.Nodes[pl.Steps[0].From]
+	} else {
+		node = pl.Nodes[r.steps[p.cur-1].step.To]
+	}
+
+	// Relation vertices join their own tuple (lines 32-36); the hidden
+	// id column keeps only rows that originated here when a table passes
+	// through the same vertex again on the Euler walk.
+	var preHeader map[string]int
+	if value != nil {
+		preHeader = value.index
+	}
+	if node.Kind == plan.RelNode {
+		own := r.ownRow(node.Alias, v)
+		if value == nil {
+			value = own
+		} else {
+			value = r.joiner.join(value, own)
+			ctx.AddOps(len(value.rows))
+		}
+	}
+	if value == nil {
+		return
+	}
+
+	// Pushed selections (§7): apply residual predicates at the earliest
+	// round where the partial table contains their columns — i.e. they
+	// just became complete at this vertex.
+	if len(r.collectPreds) > 0 {
+		value = r.applyCollectPreds(ctx, value, preHeader)
+		if len(value.rows) == 0 {
+			return
+		}
+	}
+
+	if p.cur >= r.nUp {
+		// Root reached: record the distributed output (line 42).
+		r.values[v] = value
+		ctx.Emit(v)
+		return
+	}
+
+	// Forward along the current step's marked edges (lines 37-40).
+	cur := r.steps[p.cur]
+	for t := range r.markSet(v, cur.edgeID) {
+		ctx.Send(v, t, value)
+	}
+}
+
+// runCollection executes the collection phase from the reduction
+// survivors of the start alias and returns the distributed result.
+func (r *componentRun) runCollection(starters []bsp.VertexID) (*componentResult, error) {
+	r.values = make([]*table, r.ex.TAG.G.NumVertices())
+	prog := &collectionProgram{r: r}
+	r.ex.eng.Run(prog, starters)
+
+	res := &componentResult{
+		run:       r,
+		rootAlias: r.comp.Tree.Root,
+		values:    r.values,
+	}
+	for _, e := range r.ex.eng.Emitted() {
+		res.survivors = append(res.survivors, e.(bsp.VertexID))
+	}
+	return res, nil
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/tag"
+)
+
+// AggClass classifies a query block's aggregation per §7, which drives
+// both the execution strategy and the experiment groupings of Figure 15.
+type AggClass int
+
+// Aggregation classes.
+const (
+	AggNone   AggClass = iota // no aggregation
+	AggLocal                  // GROUP BY keyed by one attribute (vertex-local)
+	AggGlobal                 // multi-attribute GROUP BY (global aggregator)
+	AggScalar                 // aggregates without GROUP BY (single value)
+)
+
+func (a AggClass) String() string {
+	switch a {
+	case AggNone:
+		return "none"
+	case AggLocal:
+		return "local"
+	case AggGlobal:
+		return "global"
+	case AggScalar:
+		return "scalar"
+	}
+	return "?"
+}
+
+// predicate is a filter: either an AST expression or a compiled closure
+// (produced by subquery decorrelation), tagged with the block aliases it
+// reads so it can be pushed to the right vertices.
+type predicate struct {
+	expr    sql.Expr
+	fn      func(env *sql.Env) (bool, error)
+	aliases map[string]bool
+	// cols lists "alias.column" bind keys a closure predicate reads (so
+	// the compiler can carry them through collection).
+	cols []string
+}
+
+// eval evaluates the predicate under env.
+func (p *predicate) eval(env *sql.Env, subq sql.SubqueryFn) (bool, error) {
+	if p.fn != nil {
+		return p.fn(env)
+	}
+	v, err := sql.Eval(p.expr, env, subq)
+	if err != nil {
+		return false, err
+	}
+	return v.AsBool(), nil
+}
+
+// compiled is the executable form of one SELECT block on the TAG engine.
+type compiled struct {
+	an  *sql.Analysis
+	blk *sql.Analyzed
+
+	aliasTable map[string]string // alias -> relation name (lower)
+	filters    map[string][]*predicate
+	residual   []*predicate
+	equi       []plan.EquiPred
+	qp         *plan.QueryPlan
+
+	// needed lists, per alias, the columns carried through collection
+	// (referenced columns plus all join-class columns), with their schema
+	// slots; bindKeys are the "alias.column" header names in order.
+	// ownHeader/ownIndex are the per-alias single-row table shapes,
+	// shared read-only by every tuple vertex of the alias.
+	needed    map[string][]string
+	neededIdx map[string][]int
+	bindKeys  map[string][]string
+	ownHeader map[string][]string
+	ownIndex  map[string]map[string]int
+
+	// classCols lists, per join class, the member bind keys inside this
+	// block: the agreement sets enforced at collection joins.
+	classCols classAgreement
+
+	agg AggClass
+	// hasOuter marks blocks with LEFT/RIGHT/FULL joins (table-level path).
+	hasOuter bool
+}
+
+// compileBlock builds the executable form of blk.
+func (e *Executor) compileBlock(an *sql.Analysis, blk *sql.Analyzed) (*compiled, error) {
+	c := &compiled{
+		an:         an,
+		blk:        blk,
+		aliasTable: map[string]string{},
+		filters:    map[string][]*predicate{},
+		needed:     map[string][]string{},
+		neededIdx:  map[string][]int{},
+		bindKeys:   map[string][]string{},
+		ownHeader:  map[string][]string{},
+		ownIndex:   map[string]map[string]int{},
+	}
+	sel := blk.Sel
+	card := map[string]int{}
+	for _, bt := range blk.Tables {
+		c.aliasTable[bt.Alias] = bt.Table
+		rel := e.TAG.Catalog.Get(bt.Table)
+		if rel == nil {
+			return nil, fmt.Errorf("core: table %q not in TAG catalog", bt.Table)
+		}
+		card[bt.Alias] = rel.Len()
+	}
+	for _, fi := range sel.From {
+		switch fi.Join {
+		case sql.JoinLeft, sql.JoinRight, sql.JoinFull:
+			c.hasOuter = true
+		}
+	}
+
+	// Conjuncts: WHERE plus inner ON (outer ONs stay with their join in
+	// the outer path).
+	var conjs []sql.Expr
+	conjs = append(conjs, sql.SplitConjuncts(sel.Where)...)
+	for _, fi := range sel.From {
+		if fi.Join == sql.JoinInner {
+			conjs = append(conjs, sql.SplitConjuncts(fi.On)...)
+		}
+	}
+
+	for _, conj := range conjs {
+		p := e.compilePredicate(an, blk, conj)
+		switch {
+		case len(p.aliases) == 1 && !c.hasOuter:
+			var a string
+			for x := range p.aliases {
+				a = x
+			}
+			c.filters[a] = append(c.filters[a], p)
+		case p.expr != nil && !c.hasOuter:
+			if ep, ok := asEqui(p.expr); ok {
+				c.equi = append(c.equi, ep)
+				continue
+			}
+			c.residual = append(c.residual, p)
+		default:
+			c.residual = append(c.residual, p)
+		}
+	}
+
+	// Structural plan (inner blocks only; outer blocks use the table path).
+	if !c.hasOuter {
+		var aliases []string
+		for _, bt := range blk.Tables {
+			aliases = append(aliases, bt.Alias)
+		}
+		qp, err := plan.Build(aliases, c.equi, plan.Options{Cardinality: card})
+		if err != nil {
+			return nil, err
+		}
+		c.qp = qp
+	}
+
+	c.computeNeeded()
+	c.classifyAggregation(e.TAG)
+
+	// Residual predicates that are vertex-safe learn which bind keys they
+	// need, so the collection phase can apply them as soon as a partial
+	// table contains those columns (§7's pushed selections, line 31).
+	for _, pr := range c.residual {
+		if pr.fn != nil {
+			continue // closures already carry cols
+		}
+		if len(sql.SubSelects(pr.expr)) > 0 {
+			continue // vertex-unsafe: central evaluation only
+		}
+		for _, ref := range sql.ColRefs(pr.expr) {
+			if ref.Depth == 0 {
+				pr.cols = append(pr.cols, sql.BindKey(ref.Alias, ref.Column))
+			}
+		}
+	}
+	return c, nil
+}
+
+// compilePredicate wraps a conjunct, attempting subquery decorrelation.
+func (e *Executor) compilePredicate(an *sql.Analysis, blk *sql.Analyzed, conj sql.Expr) *predicate {
+	if p := e.tryDecorrelate(an, blk, conj); p != nil {
+		return p
+	}
+	return &predicate{expr: conj, aliases: sql.AliasesOf(an, conj, 0)}
+}
+
+// asEqui recognizes a.x = b.y between distinct block aliases.
+func asEqui(e sql.Expr) (plan.EquiPred, bool) {
+	b, ok := e.(*sql.Binary)
+	if !ok || b.Op != "=" {
+		return plan.EquiPred{}, false
+	}
+	l, ok := b.L.(*sql.ColRef)
+	if !ok || l.Depth != 0 {
+		return plan.EquiPred{}, false
+	}
+	r, ok := b.R.(*sql.ColRef)
+	if !ok || r.Depth != 0 || r.Alias == l.Alias {
+		return plan.EquiPred{}, false
+	}
+	return plan.EquiPred{A: plan.NewColRef(l.Alias, l.Column), B: plan.NewColRef(r.Alias, r.Column)}, true
+}
+
+// computeNeeded collects the columns each alias must carry through the
+// collection phase: columns referenced by SELECT/GROUP BY/HAVING and
+// residual predicates, plus every join-class column (agreement checks).
+func (c *compiled) computeNeeded() {
+	want := map[string]map[string]bool{}
+	add := func(alias, col string) {
+		if _, ok := c.aliasTable[alias]; !ok {
+			return
+		}
+		if want[alias] == nil {
+			want[alias] = map[string]bool{}
+		}
+		want[alias][col] = true
+	}
+	addExpr := func(x sql.Expr) {
+		if x == nil {
+			return
+		}
+		// Current-block refs at any nesting depth.
+		var visit func(e sql.Expr, off int)
+		visit = func(e sql.Expr, off int) {
+			if e == nil {
+				return
+			}
+			for _, r := range sql.ColRefs(e) {
+				if r.Depth == off {
+					add(r.Alias, r.Column)
+				}
+			}
+			for _, subSel := range sql.SubSelects(e) {
+				if b := c.an.Blocks[subSel]; b != nil {
+					sql.VisitBlockExprs(b, off+1, visit)
+				}
+			}
+		}
+		visit(x, 0)
+	}
+	for _, it := range c.blk.Sel.Items {
+		addExpr(it.Expr)
+	}
+	for _, g := range c.blk.Sel.GroupBy {
+		addExpr(g)
+	}
+	addExpr(c.blk.Sel.Having)
+	for _, fi := range c.blk.Sel.From {
+		addExpr(fi.On) // outer-join ONs are not part of conjs
+	}
+	for _, p := range c.residual {
+		if p.expr != nil {
+			addExpr(p.expr)
+		}
+		for a := range p.aliases {
+			// Closure predicates record the columns they need as
+			// "alias.column" keys in their alias set encoding; see
+			// tryDecorrelate. Fallback: keep all join columns below.
+			_ = a
+		}
+	}
+	if c.qp != nil {
+		for _, m := range flattenClasses(c.qp.Classes) {
+			add(m.Alias, m.Column)
+		}
+		// Class agreement sets.
+		for cid := range c.qp.Classes.Members {
+			var keys []string
+			for _, m := range c.qp.Classes.Members[cid] {
+				if _, ok := c.aliasTable[m.Alias]; ok {
+					keys = append(keys, sql.BindKey(m.Alias, m.Column))
+				}
+			}
+			if len(keys) >= 2 {
+				c.classCols = append(c.classCols, keys)
+			}
+		}
+	}
+	// Closure predicates: their column needs were recorded via needCols.
+	for _, p := range c.residual {
+		for _, key := range p.needCols() {
+			parts := strings.SplitN(key, ".", 2)
+			if len(parts) == 2 {
+				add(parts[0], parts[1])
+			}
+		}
+	}
+
+	for _, bt := range c.blk.Tables {
+		alias := bt.Alias
+		cols := sortedKeys(want[alias])
+		c.needed[alias] = cols
+		idx := make([]int, len(cols))
+		keys := make([]string, len(cols))
+		for i, col := range cols {
+			idx[i] = bt.Schema.Index(col)
+			keys[i] = sql.BindKey(alias, col)
+		}
+		c.neededIdx[alias] = idx
+		c.bindKeys[alias] = keys
+		header := append(append([]string{}, keys...), idCol(alias))
+		c.ownHeader[alias] = header
+		c.ownIndex[alias] = buildIndex(header)
+	}
+}
+
+func flattenClasses(cl *plan.Classes) []plan.ColRef {
+	var out []plan.ColRef
+	for _, ms := range cl.Members {
+		out = append(out, ms...)
+	}
+	return out
+}
+
+// classifyAggregation assigns the §7 aggregation class. Local aggregation
+// (LA) applies when the GROUP BY is keyed by one attribute: a single
+// column, or a leading column that functionally determines the rest
+// (detected via declared primary keys, possibly through a join class —
+// e.g. GROUP BY l_orderkey, o_orderdate where l_orderkey joins the orders
+// PK).
+func (c *compiled) classifyAggregation(t *tag.Graph) {
+	sel := c.blk.Sel
+	switch {
+	case len(sel.GroupBy) == 0 && !c.blk.HasAgg:
+		c.agg = AggNone
+	case len(sel.GroupBy) == 0:
+		c.agg = AggScalar
+	default:
+		ref, ok := sel.GroupBy[0].(*sql.ColRef)
+		if ok && ref.Depth == 0 && (len(sel.GroupBy) == 1 || c.isKeyColumn(t, ref)) {
+			c.agg = AggLocal
+		} else {
+			c.agg = AggGlobal
+		}
+	}
+}
+
+// isKeyColumn reports whether ref is a declared primary key column or
+// equi-joined to one.
+func (c *compiled) isKeyColumn(t *tag.Graph, ref *sql.ColRef) bool {
+	cat := t.Catalog
+	if cat.PrimaryKey(c.aliasTable[ref.Alias]) == ref.Column {
+		return true
+	}
+	if c.qp == nil {
+		return false
+	}
+	cr := plan.NewColRef(ref.Alias, ref.Column)
+	cid, ok := c.qp.Classes.Of[cr]
+	if !ok {
+		return false
+	}
+	for _, m := range c.qp.Classes.Members[cid] {
+		if table, ok := c.aliasTable[m.Alias]; ok && cat.PrimaryKey(table) == m.Column {
+			return true
+		}
+	}
+	return false
+}
+
+// needCols lets closure predicates declare the block columns they read.
+func (p *predicate) needCols() []string { return p.cols }
+
+// sortAliases returns the block's aliases sorted (determinism helper).
+func (c *compiled) sortAliases() []string {
+	out := make([]string, 0, len(c.aliasTable))
+	for a := range c.aliasTable {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

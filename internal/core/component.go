@@ -1,0 +1,453 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/plan"
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// componentRun is the per-component execution state shared by the
+// reduction and collection vertex programs (Algorithm 2).
+type componentRun struct {
+	ex    *Executor
+	c     *compiled
+	comp  *plan.Component
+	outer *sql.Env
+	subq  sql.SubqueryFn
+
+	// steps is the full reduction schedule: the connected bottom-up UP
+	// list followed by its reversal (DOWN).
+	steps []stepInfo
+	nUp   int
+
+	// marks[v][edgeID] records the senders v received from on that plan
+	// edge (most recent pass wins); DOWN and collection sends follow it.
+	marks []map[int]map[bsp.VertexID]struct{}
+
+	// filterOK memoizes pushed-filter evaluation per alias and vertex.
+	filterOK map[string][]int8 // 0 unknown, 1 pass, 2 fail
+	// bindings caches per-alias tuple bindings (read-only once built).
+	bindings map[string]sql.Binding
+	// prefilter restricts aliases whose filters could not run at vertices
+	// (vertex-unsafe subqueries) or that were reduced by a cycle pre-pass.
+	prefilter map[string]map[bsp.VertexID]bool
+
+	// values holds the final collection value of root-alias survivors.
+	values []*table
+
+	// joiner carries the shared join-shape cache of the collection phase.
+	joiner *joiner
+
+	// collectPreds are the vertex-safe residual predicates eligible for
+	// early application during collection (§7 pushed selections).
+	collectPreds []*predicate
+}
+
+// stepInfo is one traversal step resolved against the TAG graph.
+type stepInfo struct {
+	step   plan.Step
+	label  bsp.LabelID // TAG edge label (table.column)
+	edgeID int         // plan tree edge: the child node's id
+	// toRel is the alias if the receiving side is a relation node
+	// (filters apply there); "" for attribute nodes.
+	toRel string
+	// fromRel mirrors it for the sending side.
+	fromRel string
+}
+
+// componentResult is the distributed output of one component run.
+type componentResult struct {
+	run       *componentRun
+	rootAlias string
+	survivors []bsp.VertexID
+	// values[v] is the final table at root vertex v; nil values slice
+	// means a single-alias component (rows come from the vertices).
+	values []*table
+}
+
+// runComponent executes TAG-join for one plan component: the optional
+// cycle pre-pass (§6), the reduction phase (UP+DOWN semijoin marking),
+// then the collection phase.
+func (e *Executor) runComponent(c *compiled, comp *plan.Component, outer *sql.Env, subq sql.SubqueryFn) (*componentResult, error) {
+	r := &componentRun{ex: e, c: c, comp: comp, outer: outer, subq: subq,
+		filterOK:  map[string][]int8{},
+		prefilter: map[string]map[bsp.VertexID]bool{},
+		bindings:  map[string]sql.Binding{},
+		joiner:    newJoiner(c.classCols),
+	}
+	for _, bt := range c.blk.Tables {
+		binding := sql.Binding{}
+		for i, col := range bt.Schema.Columns {
+			binding[sql.BindKey(bt.Alias, col.Name)] = i
+		}
+		r.bindings[bt.Alias] = binding
+	}
+	for _, pr := range c.residual {
+		if len(pr.cols) > 0 && (pr.fn != nil || len(sql.SubSelects(pr.expr)) == 0) {
+			r.collectPreds = append(r.collectPreds, pr)
+		}
+	}
+	if err := r.hoistUnsafeFilters(); err != nil {
+		return nil, err
+	}
+
+	p := comp.TAGPlan
+	if len(p.Steps) == 0 {
+		// Single-alias component: one filtering superstep.
+		return r.runSingle(p.StartAlias)
+	}
+
+	// Cycle pre-pass: reduce cycle members before the tree reduction.
+	// Cycles whose predicates are all PK-FK joins skip the heavy/light
+	// propagation (§6.1.1): the join sizes are bounded by the largest
+	// relation, so the tree reduction plus the collection-phase class
+	// agreement on the broken predicate already stay within budget.
+	for _, cyc := range comp.Cycles {
+		if r.cycleIsPKFK(cyc) && !e.ForceCyclePrePass {
+			continue
+		}
+		if err := r.runCyclePass(cyc); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := r.resolveSteps(); err != nil {
+		return nil, err
+	}
+	r.marks = make([]map[int]map[bsp.VertexID]struct{}, e.TAG.G.NumVertices())
+
+	survivors, err := r.runReduction()
+	if err != nil {
+		return nil, err
+	}
+	return r.runCollection(survivors)
+}
+
+// cycleIsPKFK reports whether the cycle is PK-FK dominated: at most one
+// predicate is not a declared primary-foreign key join. Per §6.1.1 the
+// replication rate of PK-FK joins is bounded by the foreign-key relation,
+// so walking the cycle as a (broken) tree cannot blow up beyond the fact
+// table, and the one remaining equality is enforced by the collection
+// phase's class agreement. Genuinely many-to-many cycles (triangles over
+// non-key attributes) still take the heavy/light pre-pass of §6.1.2.
+func (r *componentRun) cycleIsPKFK(cyc plan.Cycle) bool {
+	cat := r.ex.TAG.Catalog
+	nonKey := 0
+	for _, p := range cyc.Preds {
+		if !cat.IsPKFKJoin(r.c.aliasTable[p.A.Alias], p.A.Column, r.c.aliasTable[p.B.Alias], p.B.Column) {
+			nonKey++
+		}
+	}
+	return nonKey <= 1
+}
+
+// resolveSteps maps plan steps to TAG labels and plan edges.
+func (r *componentRun) resolveSteps() error {
+	p := r.comp.TAGPlan
+	up := p.Steps
+	all := append(append([]plan.Step{}, up...), plan.Reversed(up)...)
+	r.nUp = len(up)
+	for _, s := range all {
+		info, err := r.resolveStep(s)
+		if err != nil {
+			return err
+		}
+		r.steps = append(r.steps, info)
+	}
+	return nil
+}
+
+func (r *componentRun) resolveStep(s plan.Step) (stepInfo, error) {
+	table := r.c.aliasTable[s.Label.Alias]
+	lbl, ok := r.ex.TAG.EdgeLabel(table, s.Label.Column)
+	if !ok || !r.ex.TAG.Materialized(table, s.Label.Column) {
+		return stepInfo{}, fmt.Errorf("core: join column %s.%s is not materialized in the TAG graph", table, s.Label.Column)
+	}
+	p := r.comp.TAGPlan
+	edge := s.From
+	if p.Nodes[s.From].Parent == s.To {
+		edge = s.From
+	} else {
+		edge = s.To
+	}
+	info := stepInfo{step: s, label: lbl, edgeID: edge}
+	if p.Nodes[s.To].Kind == plan.RelNode {
+		info.toRel = p.Nodes[s.To].Alias
+	}
+	if p.Nodes[s.From].Kind == plan.RelNode {
+		info.fromRel = p.Nodes[s.From].Alias
+	}
+	return info, nil
+}
+
+// hoistUnsafeFilters pre-evaluates pushed filters that contain
+// un-decorrelated subqueries (they would re-enter the engine if run
+// inside a vertex program) into per-alias allowed sets.
+func (r *componentRun) hoistUnsafeFilters() error {
+	for alias, preds := range r.c.filters {
+		var unsafe []*predicate
+		for _, p := range preds {
+			if p.fn == nil && len(sql.SubSelects(p.expr)) > 0 {
+				unsafe = append(unsafe, p)
+			}
+		}
+		if len(unsafe) == 0 {
+			continue
+		}
+		allowed := map[bsp.VertexID]bool{}
+		table := r.c.aliasTable[alias]
+		binding := r.aliasBinding(alias)
+		env := &sql.Env{Binding: binding, Parent: r.outer}
+		for _, v := range r.ex.TAG.TupleVertices(table) {
+			d := r.ex.TAG.TupleData(v)
+			if d == nil || d.Dead {
+				continue
+			}
+			env.Row = d.Row
+			ok := true
+			for _, p := range unsafe {
+				pass, err := p.eval(env, r.subq)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				allowed[v] = true
+			}
+		}
+		r.intersectPrefilter(alias, allowed)
+	}
+	return nil
+}
+
+// intersectPrefilter narrows the allowed set of an alias.
+func (r *componentRun) intersectPrefilter(alias string, allowed map[bsp.VertexID]bool) {
+	if prev, ok := r.prefilter[alias]; ok {
+		for v := range prev {
+			if !allowed[v] {
+				delete(prev, v)
+			}
+		}
+		return
+	}
+	r.prefilter[alias] = allowed
+}
+
+// aliasBinding returns the cached tuple binding of an alias.
+func (r *componentRun) aliasBinding(alias string) sql.Binding {
+	return r.bindings[alias]
+}
+
+// passes evaluates (and memoizes) the vertex-safe pushed filters of an
+// alias for vertex v; unsafe filters were hoisted into prefilter.
+// Safe for concurrent use: the memo slice is per-alias, per-vertex slot.
+func (r *componentRun) passes(alias string, v bsp.VertexID) bool {
+	if pre, ok := r.prefilter[alias]; ok && !pre[v] {
+		return false
+	}
+	d := r.ex.TAG.TupleData(v)
+	if d == nil || d.Dead || d.Table != r.c.aliasTable[alias] {
+		return false
+	}
+	memo := r.filterOK[alias]
+	if memo == nil {
+		return r.evalFilters(alias, v, d.Row)
+	}
+	switch memo[v] {
+	case 1:
+		return true
+	case 2:
+		return false
+	}
+	ok := r.evalFilters(alias, v, d.Row)
+	if ok {
+		memo[v] = 1
+	} else {
+		memo[v] = 2
+	}
+	return ok
+}
+
+// prepareFilterMemo allocates the memo slice for aliases with filters.
+func (r *componentRun) prepareFilterMemo() {
+	for alias, preds := range r.c.filters {
+		hasSafe := false
+		for _, p := range preds {
+			if p.fn != nil || len(sql.SubSelects(p.expr)) == 0 {
+				hasSafe = true
+			}
+		}
+		if hasSafe {
+			r.filterOK[alias] = make([]int8, r.ex.TAG.G.NumVertices())
+		}
+	}
+}
+
+func (r *componentRun) evalFilters(alias string, v bsp.VertexID, row relation.Tuple) bool {
+	preds := r.c.filters[alias]
+	if len(preds) == 0 {
+		return true
+	}
+	env := &sql.Env{Binding: r.aliasBinding(alias), Row: row, Parent: r.outer}
+	for _, p := range preds {
+		if p.fn == nil && len(sql.SubSelects(p.expr)) > 0 {
+			continue // hoisted
+		}
+		ok, err := p.eval(env, nil)
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// initialActives returns the filtered tuple vertices of an alias.
+func (r *componentRun) initialActives(alias string) []bsp.VertexID {
+	var out []bsp.VertexID
+	for _, v := range r.ex.TAG.TupleVertices(r.c.aliasTable[alias]) {
+		if r.passes(alias, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// applyCollectPreds filters a partial table by every residual predicate
+// whose columns just became available (present now, absent before this
+// vertex's join with its own tuple).
+func (r *componentRun) applyCollectPreds(ctx *bsp.Context, t *table, pre map[string]int) *table {
+	var apply []*predicate
+	for _, p := range r.collectPreds {
+		complete := true
+		wasComplete := pre != nil
+		for _, col := range p.cols {
+			if _, ok := t.index[col]; !ok {
+				complete = false
+				break
+			}
+			if wasComplete {
+				if _, ok := pre[col]; !ok {
+					wasComplete = false
+				}
+			}
+		}
+		if complete && !wasComplete {
+			apply = append(apply, p)
+		}
+	}
+	if len(apply) == 0 {
+		return t
+	}
+	out := newTableShared(t.header, t.index)
+	env := &sql.Env{Binding: sql.Binding(t.index), Parent: r.outer}
+	for _, row := range t.rows {
+		env.Row = row
+		keep := true
+		for _, p := range apply {
+			ok, err := p.eval(env, nil)
+			if err != nil || !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.rows = append(out.rows, row)
+		}
+	}
+	ctx.AddOps(len(t.rows))
+	return out
+}
+
+// runSingle handles a single-alias component: one superstep in which the
+// alias's vertices filter themselves and report survival.
+func (r *componentRun) runSingle(alias string) (*componentResult, error) {
+	r.prepareFilterMemo()
+	res := &componentResult{run: r, rootAlias: alias}
+	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
+		ctx.AddOps(1)
+		if r.passes(alias, v) {
+			ctx.Emit(v)
+		}
+	})
+	r.ex.eng.Run(prog, r.ex.TAG.TupleVertices(r.c.aliasTable[alias]))
+	for _, e := range r.ex.eng.Emitted() {
+		res.survivors = append(res.survivors, e.(bsp.VertexID))
+	}
+	return res, nil
+}
+
+// ownRow builds the needed-columns row table of a tuple vertex; the
+// header and index are the alias's shared shapes.
+func (r *componentRun) ownRow(alias string, v bsp.VertexID) *table {
+	d := r.ex.TAG.TupleData(v)
+	header := r.c.ownHeader[alias]
+	t := newTableShared(header, r.c.ownIndex[alias])
+	out := make([]relation.Value, 0, len(header))
+	for _, si := range r.c.neededIdx[alias] {
+		out = append(out, d.Row[si])
+	}
+	out = append(out, relation.Int(int64(v)))
+	t.rows = [][]relation.Value{out}
+	return t
+}
+
+// canonicalHeader lists every alias's bind keys plus id columns; used for
+// empty results so downstream bindings resolve.
+func (c *compiled) canonicalHeader() []string {
+	var out []string
+	for _, alias := range c.sortAliases() {
+		out = append(out, c.bindKeys[alias]...)
+		out = append(out, idCol(alias))
+	}
+	return out
+}
+
+// assemble unions the distributed values into one table (the "collect
+// output at a central location" convention; the communication cost of
+// doing so is OUT, §4.1.2).
+func (res *componentResult) assemble(c *compiled) *table {
+	if res.values == nil {
+		// Single-alias component.
+		alias := res.rootAlias
+		header := append(append([]string{}, c.bindKeys[alias]...), idCol(alias))
+		out := newTable(header)
+		for _, v := range res.survivors {
+			out.rows = append(out.rows, res.run.ownRow(alias, v).rows[0])
+		}
+		return out
+	}
+	var out *table
+	for _, v := range res.survivors {
+		t := res.values[v]
+		if t == nil {
+			continue
+		}
+		if out == nil {
+			out = t.clone()
+			out.rows = append([][]relation.Value{}, t.rows...)
+		} else {
+			out.rows = append(out.rows, t.rows...)
+		}
+	}
+	if out == nil {
+		out = newTable(c.componentHeader(res.run.comp))
+	}
+	return out
+}
+
+// componentHeader is the canonical header of a component's aliases.
+func (c *compiled) componentHeader(comp *plan.Component) []string {
+	var out []string
+	for _, alias := range comp.Aliases {
+		out = append(out, c.bindKeys[alias]...)
+		out = append(out, idCol(alias))
+	}
+	return out
+}

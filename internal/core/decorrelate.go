@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// decorrTable is the lookup structure of a decorrelated subquery: the
+// subquery was executed once with its correlation predicates removed and
+// the correlated inner columns prepended to its SELECT list; rows are
+// grouped by the correlation key. Looking it up per outer row realizes
+// the semi-join/anti-join evaluation of §7 (EXISTS/IN) and the grouped
+// rewrite of correlated scalar aggregates.
+type decorrTable struct {
+	outerCols []*sql.ColRef // evaluated in the outer row's env, in key order
+	rows      map[string]*relation.Relation
+	empty     *relation.Relation
+}
+
+// lookup serves the subquery's result for the outer row in env.
+func (dt *decorrTable) lookup(env *sql.Env) (*relation.Relation, error) {
+	var b strings.Builder
+	for _, c := range dt.outerCols {
+		v, err := sql.Eval(c, env, nil)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			return dt.empty, nil // NULL correlations match nothing
+		}
+		k := v.Key()
+		b.WriteByte(byte(k.Kind) + '0')
+		b.WriteString(k.String())
+		b.WriteByte('\x1f')
+	}
+	if r, ok := dt.rows[b.String()]; ok {
+		return r, nil
+	}
+	return dt.empty, nil
+}
+
+// tryDecorrelate attempts to turn a conjunct containing subqueries into a
+// vertex-safe closure predicate backed by decorrTable lookups. It returns
+// nil when any nested subquery does not fit the supported shape (single
+// block, correlation only through top-level equality predicates with the
+// current block, aggregates only in scalar form).
+func (e *Executor) tryDecorrelate(an *sql.Analysis, blk *sql.Analyzed, conj sql.Expr) *predicate {
+	subs := sql.SubSelects(conj)
+	if len(subs) == 0 {
+		return nil
+	}
+	aliases := map[string]bool{}
+	var cols []string
+	for _, c := range sql.ColRefs(conj) {
+		if c.Depth == 0 {
+			aliases[c.Alias] = true
+			cols = append(cols, sql.BindKey(c.Alias, c.Column))
+		}
+	}
+
+	for _, sub := range subs {
+		dt, done := e.decorr[sub]
+		if !done {
+			var ok bool
+			dt, ok = e.decorrelateSub(an, sub)
+			if !ok {
+				return nil
+			}
+			e.decorr[sub] = dt
+		}
+		for _, oc := range dt.outerCols {
+			aliases[oc.Alias] = true
+			cols = append(cols, sql.BindKey(oc.Alias, oc.Column))
+		}
+	}
+
+	dtSubq := func(sub *sql.Select, env *sql.Env) (*relation.Relation, error) {
+		dt := e.decorr[sub]
+		if dt == nil {
+			// Nested deeper subqueries: not expected on this path.
+			return nil, errNoDecorr
+		}
+		return dt.lookup(env)
+	}
+	return &predicate{
+		fn: func(env *sql.Env) (bool, error) {
+			v, err := sql.Eval(conj, env, dtSubq)
+			if err != nil {
+				return false, err
+			}
+			return v.AsBool(), nil
+		},
+		aliases: aliases,
+		cols:    cols,
+	}
+}
+
+var errNoDecorr = &decorrError{}
+
+type decorrError struct{}
+
+func (*decorrError) Error() string { return "core: subquery not decorrelated" }
+
+// decorrelateSub checks the shape of one subquery and, if supported,
+// executes its decorrelated variant and builds the lookup table.
+func (e *Executor) decorrelateSub(an *sql.Analysis, sub *sql.Select) (*decorrTable, bool) {
+	subBlk := an.Blocks[sub]
+	if subBlk == nil || sub.Union != nil {
+		return nil, false
+	}
+	// No subqueries nested inside the subquery (keep the shape simple),
+	// and aggregates only in the scalar form.
+	if sub.Having != nil {
+		return nil, false
+	}
+	if subBlk.HasAgg && len(sub.GroupBy) > 0 {
+		return nil, false
+	}
+	nested := false
+	sql.VisitBlockExprs(subBlk, 0, func(x sql.Expr, _ int) {
+		if len(sql.SubSelects(x)) > 0 {
+			nested = true
+		}
+	})
+	if nested {
+		return nil, false
+	}
+
+	// Correlation shape: every outer reference occurs in a top-level
+	// WHERE conjunct of the form innerCol = outerCol (either order) and
+	// points exactly one scope out.
+	type corr struct {
+		inner, outer *sql.ColRef
+	}
+	var corrs []corr
+	var keep []sql.Expr
+	for _, cj := range sql.SplitConjuncts(sub.Where) {
+		b, ok := cj.(*sql.Binary)
+		if ok && b.Op == "=" {
+			l, lok := b.L.(*sql.ColRef)
+			r, rok := b.R.(*sql.ColRef)
+			if lok && rok {
+				switch {
+				case l.Depth == 0 && r.Depth == 1:
+					corrs = append(corrs, corr{inner: l, outer: r})
+					continue
+				case l.Depth == 1 && r.Depth == 0:
+					corrs = append(corrs, corr{inner: r, outer: l})
+					continue
+				}
+			}
+		}
+		// Any other conjunct must be entirely local to the subquery.
+		for _, c := range sql.ColRefs(cj) {
+			if c.Depth != 0 {
+				return nil, false
+			}
+		}
+		keep = append(keep, cj)
+	}
+	// No outer references anywhere else (SELECT list, GROUP BY).
+	outerCount := 0
+	sql.VisitBlockExprs(subBlk, 0, func(x sql.Expr, off int) {
+		for _, c := range sql.ColRefs(x) {
+			if c.Depth > off {
+				outerCount++
+			}
+		}
+	})
+	if outerCount != len(corrs) {
+		return nil, false
+	}
+
+	// Build the decorrelated variant: SELECT innerCols..., <items> with
+	// correlation conjuncts removed; aggregates become GROUP BY innerCols.
+	mod := sql.CloneSelect(sub)
+	mod.Where = sql.AndAll(cloneAll(keep))
+	var items []sql.SelectItem
+	for _, cr := range corrs {
+		items = append(items, sql.SelectItem{Expr: &sql.ColRef{Qualifier: cr.inner.Alias, Column: cr.inner.Column}})
+	}
+	items = append(items, mod.Items...)
+	mod.Items = items
+	if subBlk.HasAgg {
+		mod.GroupBy = nil
+		for _, cr := range corrs {
+			mod.GroupBy = append(mod.GroupBy, &sql.ColRef{Qualifier: cr.inner.Alias, Column: cr.inner.Column})
+		}
+	} else if len(corrs) > 0 {
+		mod.Distinct = true
+	}
+
+	modAn, err := sql.Analyze(e.TAG.Catalog, mod)
+	if err != nil {
+		return nil, false
+	}
+	res, err := e.runChain(modAn, modAn.Root, nil)
+	if err != nil {
+		return nil, false
+	}
+
+	// Split rows into the key (first len(corrs) columns) and the payload.
+	k := len(corrs)
+	payloadSchema := payloadSchemaOf(res, k)
+	dt := &decorrTable{
+		rows:  map[string]*relation.Relation{},
+		empty: relation.New("sub", payloadSchema),
+	}
+	for _, cr := range corrs {
+		dt.outerCols = append(dt.outerCols, &sql.ColRef{
+			Alias: cr.outer.Alias, Column: cr.outer.Column, Table: cr.outer.Table,
+		})
+	}
+	for _, row := range res.Tuples {
+		var b strings.Builder
+		null := false
+		for i := 0; i < k; i++ {
+			if row[i].IsNull() {
+				null = true
+				break
+			}
+			kv := row[i].Key()
+			b.WriteByte(byte(kv.Kind) + '0')
+			b.WriteString(kv.String())
+			b.WriteByte('\x1f')
+		}
+		if null {
+			continue // NULL inner keys never join
+		}
+		key := b.String()
+		bucket := dt.rows[key]
+		if bucket == nil {
+			bucket = relation.New("sub", payloadSchema)
+			dt.rows[key] = bucket
+		}
+		bucket.Tuples = append(bucket.Tuples, row[k:])
+	}
+	return dt, true
+}
+
+func payloadSchemaOf(res *relation.Relation, skip int) *relation.Schema {
+	cols := make([]relation.Column, 0, res.Schema.Len()-skip)
+	for i, c := range res.Schema.Columns[skip:] {
+		cols = append(cols, relation.Column{Name: fmt.Sprintf("c%d_%s", i+1, c.Name), Kind: c.Kind})
+	}
+	if len(cols) == 0 {
+		cols = append(cols, relation.Col("c1", relation.KindInt))
+	}
+	return relation.MustSchema(cols...)
+}
+
+func cloneAll(exprs []sql.Expr) []sql.Expr {
+	out := make([]sql.Expr, len(exprs))
+	for i, e := range exprs {
+		out[i] = sql.CloneExpr(e)
+	}
+	return out
+}

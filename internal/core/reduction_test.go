@@ -1,0 +1,199 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bsp"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/tag"
+)
+
+// TestLemma51FullReducer verifies the effect of the reduction phase
+// directly (Lemma 5.1 / Example 5.3): after the UP+DOWN passes, the
+// surviving start-alias vertices are exactly the tuples of the fully
+// reduced relation — those participating in the multi-way join.
+func TestLemma51FullReducer(t *testing.T) {
+	cat := shopCatalog()
+	g, err := tag.Build(cat, tag.MaterializeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(g, bsp.Options{Workers: 2})
+	an, err := sql.AnalyzeString(cat,
+		"SELECT okey FROM nation, cust, ord WHERE cnation = nkey AND ocust = ckey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.subCache = map[*sql.Select]*relation.Relation{}
+	ex.corrCache = map[string]*relation.Relation{}
+	ex.decorr = map[*sql.Select]*decorrTable{}
+	c, err := ex.compileBlock(an, an.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := c.qp.Components[0]
+	res, err := ex.runComponent(c, comp, nil, ex.subqueryFn(an))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The collection survivors live at the join tree root (the largest
+	// relation, ord). Their keys must be the fully reduced ord tuples.
+	if res.rootAlias != "ord" {
+		t.Fatalf("root = %s, want ord", res.rootAlias)
+	}
+	var got []int64
+	for _, v := range res.survivors {
+		d := ex.TAG.TupleData(v)
+		got = append(got, d.Row[0].AsInt())
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+
+	// Reference full reduction via semijoins on the baseline engine.
+	ref, err := baseline.New(cat).Query(`SELECT okey FROM ord
+		WHERE EXISTS (SELECT 1 FROM cust WHERE ckey = ocust
+		              AND EXISTS (SELECT 1 FROM nation WHERE nkey = cnation))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int64
+	for _, row := range ref.Tuples {
+		want = append(want, row[0].AsInt())
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+
+	if len(got) != len(want) {
+		t.Fatalf("survivors = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("survivors = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestReductionEliminatesBeforeCollection checks the §4.1.2 property that
+// dangling tuples never receive collection-phase tables: the number of
+// collection messages is bounded by the join output side, not the input.
+func TestReductionEliminatesBeforeCollection(t *testing.T) {
+	cat := relation.NewCatalog()
+	r := relation.New("r", relation.MustSchema(relation.Col("a", relation.KindInt)))
+	s := relation.New("s", relation.MustSchema(relation.Col("a", relation.KindInt), relation.Col("b", relation.KindInt)))
+	// 100 dangling R tuples, one matching pair.
+	for i := 0; i < 100; i++ {
+		r.MustAppend(relation.Int(int64(1000 + i)))
+	}
+	r.MustAppend(relation.Int(7))
+	s.MustAppend(relation.Int(7), relation.Int(1))
+	cat.MustAdd(r)
+	cat.MustAdd(s)
+
+	g, err := tag.Build(cat, tag.MaterializeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(g, bsp.Options{Workers: 2})
+	out, err := ex.Query("SELECT b FROM r, s WHERE r.a = s.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("rows = %d", out.Len())
+	}
+	// Reduction UP pass touches all |R| vertices once (O(IN)), but the
+	// DOWN pass and collection follow marks: total messages stay well
+	// under a constant multiple of IN.
+	if msgs := ex.Stats().Messages; msgs > 4*int64(cat.TotalTuples()) {
+		t.Errorf("messages = %d exceed 4*IN = %d", msgs, 4*cat.TotalTuples())
+	}
+}
+
+// TestEngineGrowsWithGraph is the regression test for querying after
+// incremental TAG inserts grew the vertex set beyond the engine's
+// original buffers.
+func TestEngineGrowsWithGraph(t *testing.T) {
+	cat := shopCatalog()
+	g, err := tag.Build(cat, tag.MaterializeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(g, bsp.Options{Workers: 2})
+	if _, err := ex.Query("SELECT COUNT(*) FROM cust"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := g.InsertTuple("cust", relation.Tuple{
+			relation.Int(int64(1000 + i)), relation.Int(1), relation.Str("new")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := ex.Query("SELECT COUNT(*) FROM cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tuples[0][0] != relation.Int(54) {
+		t.Errorf("count after growth = %v, want 54", out.Tuples[0][0])
+	}
+}
+
+// TestVertexOuterJoinNullKeys exercises the §7 two-way outer join's
+// NULL-key sweep: preserved tuples whose join column is NULL have no
+// attribute edge at all and must still be NULL-extended.
+func TestVertexOuterJoinNullKeys(t *testing.T) {
+	cat := relation.NewCatalog()
+	l := relation.New("l", relation.MustSchema(
+		relation.Col("id", relation.KindInt), relation.Col("k", relation.KindInt)))
+	r := relation.New("r", relation.MustSchema(
+		relation.Col("k", relation.KindInt), relation.Col("v", relation.KindString)))
+	l.MustAppend(relation.Int(1), relation.Int(10))
+	l.MustAppend(relation.Int(2), relation.Null) // NULL join key
+	l.MustAppend(relation.Int(3), relation.Int(99))
+	r.MustAppend(relation.Int(10), relation.Str("hit"))
+	cat.MustAdd(l)
+	cat.MustAdd(r)
+
+	got := checkAgainstBaseline(t, cat, "SELECT id, v FROM l LEFT JOIN r ON l.k = r.k")
+	if got.Len() != 3 {
+		t.Fatalf("rows = %d, want 3", got.Len())
+	}
+	nulls := 0
+	for _, row := range got.Tuples {
+		if row[1].IsNull() {
+			nulls++
+		}
+	}
+	if nulls != 2 {
+		t.Errorf("NULL-extended rows = %d, want 2", nulls)
+	}
+	// FULL variant: the unmatched right side appears too (none here) and
+	// the RIGHT variant drops the NULL-key left rows.
+	checkAgainstBaseline(t, cat, "SELECT id, v FROM l FULL JOIN r ON l.k = r.k")
+	checkAgainstBaseline(t, cat, "SELECT id, v FROM l RIGHT JOIN r ON l.k = r.k")
+}
+
+// TestCollectionPushedSelections verifies the §7 optimization of applying
+// residual predicates during collection: the cross-alias OR predicate of
+// a q7-style query must reduce collection traffic, not just final rows.
+func TestCollectionPushedSelections(t *testing.T) {
+	cat := shopCatalog()
+	g, err := tag.Build(cat, tag.MaterializeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(g, bsp.Options{Workers: 2})
+	// Cross-alias residual: only one (nation, price) combination passes.
+	q := `SELECT nname, price FROM nation, cust, ord
+		WHERE cnation = nkey AND ocust = ckey
+		AND ((nname = 'USA' AND price > 10) OR (nname = 'NOPE' AND price < 0))`
+	got, err := ex.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := baseline.New(cat).Query(q)
+	if !relation.EqualMultiset(got, want) {
+		t.Fatalf("pushed-selection mismatch: %d vs %d rows", got.Len(), want.Len())
+	}
+}

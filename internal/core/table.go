@@ -1,0 +1,272 @@
+// Package core implements TAG-join (§4–§7 of the paper): vertex-centric
+// evaluation of SQL equi-join queries over the TAG encoding, running on
+// the bsp engine. The executor compiles analyzed SQL into TAG traversal
+// plans, runs Algorithm 2's reduction and collection phases as vertex
+// programs, handles cyclic fragments with the heavy/light strategy,
+// Cartesian products, outer joins, subqueries, and the three aggregation
+// classes (local, global, scalar).
+package core
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// idCol returns the hidden provenance column name for an alias. Every
+// tuple vertex contributes its vertex id under this column, so that
+// re-joining a table with a tuple vertex's own row during the Euler
+// traversal of the collection phase keeps exactly the rows that
+// originated there (correct multiplicities even with duplicate tuples).
+func idCol(alias string) string { return "#" + alias }
+
+// table is a partial join result flowing through the collection phase:
+// a header of "alias.column" bind keys (plus hidden #alias id columns)
+// over rows of values. The header and index are immutable and shared
+// between tables of the same shape (they are per-plan-edge, not per-row).
+type table struct {
+	header []string
+	index  map[string]int
+	rows   [][]relation.Value
+}
+
+func buildIndex(header []string) map[string]int {
+	idx := make(map[string]int, len(header))
+	for i, h := range header {
+		idx[h] = i
+	}
+	return idx
+}
+
+func newTable(header []string) *table {
+	return &table{header: header, index: buildIndex(header)}
+}
+
+// newTableShared reuses a prebuilt index (read-only).
+func newTableShared(header []string, index map[string]int) *table {
+	return &table{header: header, index: index}
+}
+
+// unitTable is the join identity: one empty row.
+func unitTable() *table {
+	t := newTable(nil)
+	t.rows = [][]relation.Value{{}}
+	return t
+}
+
+// clone returns a shallow copy sharing rows and index.
+func (t *table) clone() *table {
+	return &table{header: t.header, index: t.index, rows: t.rows}
+}
+
+// size estimates the wire size of the table in bytes (message
+// accounting). The header/schema is negotiated once per query, so only
+// row payloads count.
+func (t *table) size() int {
+	n := 8
+	for _, r := range t.rows {
+		for _, v := range r {
+			n += v.Size()
+		}
+	}
+	return n
+}
+
+// union appends other's rows; headers must be identical (same plan edge).
+func (t *table) union(other *table) *table {
+	if len(t.header) != len(other.header) {
+		panic("core: union of incompatible tables")
+	}
+	out := newTableShared(t.header, t.index)
+	out.rows = make([][]relation.Value, 0, len(t.rows)+len(other.rows))
+	out.rows = append(out.rows, t.rows...)
+	out.rows = append(out.rows, other.rows...)
+	return out
+}
+
+// classAgreement describes, for one join-attribute class, the bind keys
+// of its member columns; a joined row is valid only if all present member
+// columns hold equal non-NULL values (this enforces multi-attribute join
+// conditions and broken cycle-closing predicates, §4.2/§6.2).
+type classAgreement [][]string
+
+// joinShape is the precomputed plan of joining two table shapes: shared
+// column slot pairs, the t2-only slots, the merged header/index, and the
+// class-agreement slot sets. Shapes recur across every vertex of a
+// superstep, so they are cached by header identity.
+type joinShape struct {
+	shared    [][2]int
+	extra     []int
+	header    []string
+	index     map[string]int
+	agreeSets [][]int
+}
+
+type shapeKey struct {
+	h1, h2 *string
+	l1, l2 int
+}
+
+func keyOf(h1, h2 []string) shapeKey {
+	k := shapeKey{l1: len(h1), l2: len(h2)}
+	if len(h1) > 0 {
+		k.h1 = &h1[0]
+	}
+	if len(h2) > 0 {
+		k.h2 = &h2[0]
+	}
+	return k
+}
+
+// joiner joins tables with shared-column natural-join semantics plus
+// class agreement; it is safe for concurrent use by the vertex workers.
+type joiner struct {
+	classes classAgreement
+
+	mu     sync.Mutex
+	shapes map[shapeKey]*joinShape
+}
+
+func newJoiner(classes classAgreement) *joiner {
+	return &joiner{classes: classes, shapes: make(map[shapeKey]*joinShape)}
+}
+
+func (j *joiner) shape(t1, t2 *table) *joinShape {
+	k := keyOf(t1.header, t2.header)
+	j.mu.Lock()
+	if s, ok := j.shapes[k]; ok {
+		j.mu.Unlock()
+		return s
+	}
+	j.mu.Unlock()
+
+	s := &joinShape{}
+	for i2, h := range t2.header {
+		if i1, ok := t1.index[h]; ok {
+			s.shared = append(s.shared, [2]int{i1, i2})
+		} else {
+			s.extra = append(s.extra, i2)
+		}
+	}
+	s.header = append([]string{}, t1.header...)
+	for _, i2 := range s.extra {
+		s.header = append(s.header, t2.header[i2])
+	}
+	s.index = buildIndex(s.header)
+	for _, members := range j.classes {
+		var slots []int
+		for _, m := range members {
+			if sl, ok := s.index[m]; ok {
+				slots = append(slots, sl)
+			}
+		}
+		if len(slots) >= 2 {
+			s.agreeSets = append(s.agreeSets, slots)
+		}
+	}
+
+	j.mu.Lock()
+	j.shapes[k] = s
+	j.mu.Unlock()
+	return s
+}
+
+// join computes t1 ⋈ t2: rows must agree on shared header columns and on
+// all class member columns present in the merged header.
+func (j *joiner) join(t1, t2 *table) *table {
+	s := j.shape(t1, t2)
+	out := newTableShared(s.header, s.index)
+
+	// Hash t2 on the shared columns for better-than-quadratic joins.
+	if len(s.shared) > 0 {
+		buckets := make(map[string][]int, len(t2.rows))
+		var sb strings.Builder
+		for i, row := range t2.rows {
+			sb.Reset()
+			for _, p := range s.shared {
+				v := row[p[1]].Key()
+				sb.WriteByte(byte(v.Kind) + '0')
+				sb.WriteString(v.String())
+				sb.WriteByte('\x1f')
+			}
+			buckets[sb.String()] = append(buckets[sb.String()], i)
+		}
+		for _, r1 := range t1.rows {
+			sb.Reset()
+			for _, p := range s.shared {
+				v := r1[p[0]].Key()
+				sb.WriteByte(byte(v.Kind) + '0')
+				sb.WriteString(v.String())
+				sb.WriteByte('\x1f')
+			}
+			for _, i2 := range buckets[sb.String()] {
+				emitJoined(out, r1, t2.rows[i2], s)
+			}
+		}
+		return out
+	}
+	for _, r1 := range t1.rows {
+		for _, r2 := range t2.rows {
+			emitJoined(out, r1, r2, s)
+		}
+	}
+	return out
+}
+
+func emitJoined(out *table, r1, r2 []relation.Value, s *joinShape) {
+	row := make([]relation.Value, 0, len(s.header))
+	row = append(row, r1...)
+	for _, i2 := range s.extra {
+		row = append(row, r2[i2])
+	}
+	for _, slots := range s.agreeSets {
+		first := row[slots[0]]
+		for _, sl := range slots[1:] {
+			if !first.Equal(row[sl]) {
+				return
+			}
+		}
+	}
+	out.rows = append(out.rows, row)
+}
+
+// project keeps only the named columns (which must exist), in order.
+func (t *table) project(cols []string) *table {
+	slots := make([]int, len(cols))
+	for i, c := range cols {
+		slots[i] = t.index[c]
+	}
+	out := newTable(cols)
+	out.rows = make([][]relation.Value, len(t.rows))
+	for r, row := range t.rows {
+		nr := make([]relation.Value, len(cols))
+		for i, s := range slots {
+			nr[i] = row[s]
+		}
+		out.rows[r] = nr
+	}
+	return out
+}
+
+// dropHidden removes #alias provenance columns.
+func (t *table) dropHidden() *table {
+	var keep []string
+	for _, h := range t.header {
+		if !strings.HasPrefix(h, "#") {
+			keep = append(keep, h)
+		}
+	}
+	return t.project(keep)
+}
+
+// sortedKeys returns map keys sorted (test/determinism helper).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

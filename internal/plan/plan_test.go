@@ -1,0 +1,311 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func pred(a, ca, b, cb string) EquiPred {
+	return EquiPred{A: NewColRef(a, ca), B: NewColRef(b, cb)}
+}
+
+func TestBuildClasses(t *testing.T) {
+	preds := []EquiPred{
+		pred("r", "a", "s", "a"),
+		pred("s", "a", "t", "x"), // transitive with the first
+		pred("s", "b", "v", "b"),
+	}
+	c := BuildClasses(preds)
+	if len(c.Members) != 2 {
+		t.Fatalf("classes = %d, want 2", len(c.Members))
+	}
+	ra := c.Of[NewColRef("r", "a")]
+	tx := c.Of[NewColRef("t", "x")]
+	if ra != tx {
+		t.Error("transitive equality should merge classes")
+	}
+	sb := c.Of[NewColRef("s", "b")]
+	if sb == ra {
+		t.Error("independent equalities should stay separate")
+	}
+	if col, ok := c.ColumnOf(ra, "t"); !ok || col != "x" {
+		t.Errorf("ColumnOf = %q", col)
+	}
+	if got := c.AliasesOf(ra); len(got) != 3 {
+		t.Errorf("AliasesOf = %v", got)
+	}
+	if got := c.ClassesOf("s"); len(got) != 2 {
+		t.Errorf("ClassesOf(s) = %v", got)
+	}
+	if c.Name(ra) == "" {
+		t.Error("Name should be non-empty")
+	}
+}
+
+// figure4Plan builds the paper's Figure 4 example: join tree R-S, S-T,
+// S-V with R⋈S on A and S⋈{T,V} on B.
+func figure4Plan(t *testing.T) *QueryPlan {
+	t.Helper()
+	preds := []EquiPred{
+		pred("r", "a", "s", "a"),
+		pred("s", "b", "t", "b"),
+		pred("s", "b", "v", "b"),
+	}
+	qp, err := Build([]string{"r", "s", "t", "v"}, preds, Options{
+		Cardinality: map[string]int{"r": 1000, "s": 500, "t": 100, "v": 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qp
+}
+
+func TestFigure4JoinTree(t *testing.T) {
+	qp := figure4Plan(t)
+	if !qp.Acyclic || len(qp.Components) != 1 {
+		t.Fatalf("acyclic=%v components=%d", qp.Acyclic, len(qp.Components))
+	}
+	tree := qp.Components[0].Tree
+	if tree.Root != "r" {
+		t.Errorf("root = %s, want r (largest)", tree.Root)
+	}
+	if tree.Parent["s"] != "r" || tree.Parent["t"] != "s" || tree.Parent["v"] != "s" {
+		t.Errorf("parents = %v", tree.Parent)
+	}
+}
+
+func TestFigure4StepsMatchPaper(t *testing.T) {
+	qp := figure4Plan(t)
+	p := qp.Components[0].TAGPlan
+	if p.StartAlias != "v" {
+		t.Errorf("start = %s, want v (rightmost leaf)", p.StartAlias)
+	}
+	// Figure 4(c): V.B, T.B, T.B, S.B, S.A, R.A.
+	want := []string{"v.b", "t.b", "t.b", "s.b", "s.a", "r.a"}
+	if len(p.Steps) != len(want) {
+		t.Fatalf("steps = %v", p)
+	}
+	for i, s := range p.Steps {
+		if s.Label.String() != want[i] {
+			t.Errorf("step %d = %s, want %s\n%s", i, s.Label, want[i], p)
+		}
+	}
+	// Directions: connected traversal — each step starts where the
+	// previous ended; final step reaches the root.
+	for i := 1; i < len(p.Steps); i++ {
+		if p.Steps[i].From != p.Steps[i-1].To {
+			t.Errorf("step %d is disconnected", i)
+		}
+	}
+	if p.Steps[len(p.Steps)-1].To != p.Root {
+		t.Error("traversal must end at the root")
+	}
+}
+
+func TestReversedSteps(t *testing.T) {
+	qp := figure4Plan(t)
+	steps := qp.Components[0].TAGPlan.Steps
+	rev := Reversed(steps)
+	if len(rev) != len(steps) {
+		t.Fatal("length mismatch")
+	}
+	if rev[0].Label.String() != "r.a" || rev[0].From != steps[len(steps)-1].To {
+		t.Errorf("first reversed step = %+v", rev[0])
+	}
+	// Reversing twice is the identity.
+	again := Reversed(rev)
+	for i := range steps {
+		if again[i] != steps[i] {
+			t.Errorf("double reverse mismatch at %d", i)
+		}
+	}
+}
+
+func TestTriangleIsCyclic(t *testing.T) {
+	preds := []EquiPred{
+		pred("r", "b", "s", "b"),
+		pred("s", "c", "t", "c"),
+		pred("t", "a", "r", "a"),
+	}
+	qp, err := Build([]string{"r", "s", "t"}, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp.Acyclic {
+		t.Fatal("triangle should be cyclic")
+	}
+	comp := qp.Components[0]
+	if len(comp.Cycles) != 1 || len(comp.Broken) != 1 {
+		t.Fatalf("cycles=%d broken=%d", len(comp.Cycles), len(comp.Broken))
+	}
+	cyc := comp.Cycles[0]
+	if len(cyc.Aliases) != 3 || len(cyc.Preds) != 3 {
+		t.Errorf("cycle = %+v", cyc)
+	}
+	// After breaking, the tree must span all three aliases.
+	if len(comp.Tree.Order) != 3 {
+		t.Errorf("tree order = %v", comp.Tree.Order)
+	}
+}
+
+func TestFiveCycle(t *testing.T) {
+	var preds []EquiPred
+	names := []string{"r1", "r2", "r3", "r4", "r5"}
+	for i := range names {
+		j := (i + 1) % 5
+		preds = append(preds, pred(names[i], "x"+names[j], names[j], "x"+names[j]))
+	}
+	qp, err := Build(names, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp.Acyclic {
+		t.Fatal("5-cycle should be cyclic")
+	}
+	cyc := qp.Components[0].Cycles[0]
+	if len(cyc.Aliases) != 5 {
+		t.Errorf("cycle length = %d, want 5", len(cyc.Aliases))
+	}
+}
+
+func TestMultiAttributeJoinIsAcyclic(t *testing.T) {
+	preds := []EquiPred{
+		pred("r", "a", "s", "a"),
+		pred("r", "b", "s", "b"),
+	}
+	qp, err := Build([]string{"r", "s"}, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qp.Acyclic {
+		t.Error("parallel predicates are a multi-attribute join, not a cycle")
+	}
+	if len(qp.Components[0].Cycles) != 0 {
+		t.Error("no cycles expected")
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	preds := []EquiPred{
+		pred("a", "x", "b", "x"),
+		pred("c", "y", "d", "y"),
+	}
+	qp, err := Build([]string{"a", "b", "c", "d", "e"}, preds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qp.Components) != 3 { // {a,b}, {c,d}, {e}
+		t.Fatalf("components = %d, want 3", len(qp.Components))
+	}
+	// Single-alias component: trivial plan.
+	var single *Component
+	for _, c := range qp.Components {
+		if len(c.Aliases) == 1 {
+			single = c
+		}
+	}
+	if single == nil || single.TAGPlan.StartAlias != "e" || len(single.TAGPlan.Steps) != 0 {
+		t.Errorf("single component = %+v", single)
+	}
+}
+
+func TestSnowflakeTree(t *testing.T) {
+	// fact joins dim1..dim4; dim1 joins subdim. Classic snowflake.
+	preds := []EquiPred{
+		pred("fact", "k1", "dim1", "k"),
+		pred("fact", "k2", "dim2", "k"),
+		pred("fact", "k3", "dim3", "k"),
+		pred("fact", "k4", "dim4", "k"),
+		pred("dim1", "s", "subdim", "s"),
+	}
+	qp, err := Build([]string{"fact", "dim1", "dim2", "dim3", "dim4", "subdim"}, preds, Options{
+		Cardinality: map[string]int{"fact": 100000, "dim1": 100, "dim2": 100, "dim3": 100, "dim4": 100, "subdim": 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qp.Acyclic {
+		t.Fatal("snowflake must be acyclic")
+	}
+	tree := qp.Components[0].Tree
+	if tree.Root != "fact" {
+		t.Errorf("root = %s", tree.Root)
+	}
+	if tree.Parent["subdim"] != "dim1" {
+		t.Errorf("subdim parent = %s", tree.Parent["subdim"])
+	}
+	p := qp.Components[0].TAGPlan
+	// 6 rel nodes + 5 attr classes... dim joins have distinct classes.
+	rels := 0
+	for _, n := range p.Nodes {
+		if n.Kind == RelNode {
+			rels++
+		}
+	}
+	if rels != 6 {
+		t.Errorf("rel nodes = %d", rels)
+	}
+}
+
+func TestSharedAttrNode(t *testing.T) {
+	// r, s, t all join on one attribute: TAG plan has ONE attr node.
+	preds := []EquiPred{
+		pred("r", "x", "s", "x"),
+		pred("s", "x", "t", "x"),
+	}
+	qp, err := Build([]string{"r", "s", "t"}, preds, Options{
+		Cardinality: map[string]int{"r": 100, "s": 10, "t": 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := 0
+	for _, n := range qp.Components[0].TAGPlan.Nodes {
+		if n.Kind == AttrNode {
+			attrs++
+		}
+	}
+	if attrs != 1 {
+		t.Errorf("attr nodes = %d, want 1 (single shared value node)", attrs)
+	}
+}
+
+func TestStepsConnectedProperty(t *testing.T) {
+	// Random star joins always produce connected traversals ending at root.
+	f := func(nDims uint8) bool {
+		n := int(nDims%6) + 1
+		aliases := []string{"fact"}
+		var preds []EquiPred
+		for i := 0; i < n; i++ {
+			d := "d" + string(rune('a'+i))
+			aliases = append(aliases, d)
+			preds = append(preds, pred("fact", "k"+d, d, "k"))
+		}
+		qp, err := Build(aliases, preds, Options{Cardinality: map[string]int{"fact": 10000}})
+		if err != nil || len(qp.Components) != 1 {
+			return false
+		}
+		p := qp.Components[0].TAGPlan
+		if len(p.Steps) == 0 {
+			return false
+		}
+		for i := 1; i < len(p.Steps); i++ {
+			if p.Steps[i].From != p.Steps[i-1].To {
+				return false
+			}
+		}
+		return p.Steps[len(p.Steps)-1].To == p.Root
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	qp := figure4Plan(t)
+	s := qp.Components[0].TAGPlan.String()
+	if !strings.Contains(s, "rel r") || !strings.Contains(s, "start=v") {
+		t.Errorf("String() = %s", s)
+	}
+}

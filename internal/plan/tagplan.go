@@ -1,0 +1,205 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeKind distinguishes TAG plan node kinds (§5.1).
+type NodeKind int
+
+// TAG plan node kinds.
+const (
+	RelNode NodeKind = iota
+	AttrNode
+)
+
+// Node is a TAG plan node: relation nodes carry the FROM alias, attribute
+// nodes carry the join-attribute class.
+type Node struct {
+	ID       int
+	Kind     NodeKind
+	Alias    string // RelNode only
+	Class    int    // AttrNode only
+	Parent   int    // -1 at root
+	Children []int
+}
+
+// Step is one traversal step of the vertex program: the edge between
+// plan nodes From and To, carrying the relation-side label alias.column.
+type Step struct {
+	From, To int
+	Label    ColRef
+}
+
+// TAGPlan is the tree of relation and attribute nodes plus the connected
+// bottom-up traversal (Algorithm 1) that drives the vertex program.
+type TAGPlan struct {
+	Nodes      []Node
+	Root       int
+	Steps      []Step
+	StartAlias string
+}
+
+// BuildTAGPlan constructs the TAG plan of a join tree per §5.1: one node
+// per relation, one node per join attribute class (shared), edges labeled
+// with the relation-side alias.column, then the Algorithm 1 step list.
+func BuildTAGPlan(t *Tree, classes *Classes) *TAGPlan {
+	p := &TAGPlan{}
+	relNode := map[string]int{}
+	attrNode := map[int]int{}
+
+	addNode := func(n Node) int {
+		n.ID = len(p.Nodes)
+		p.Nodes = append(p.Nodes, n)
+		if n.Parent >= 0 {
+			p.Nodes[n.Parent].Children = append(p.Nodes[n.Parent].Children, n.ID)
+		}
+		return n.ID
+	}
+
+	p.Root = addNode(Node{Kind: RelNode, Alias: t.Root, Parent: -1, Class: -1})
+	relNode[t.Root] = p.Root
+
+	for _, alias := range t.Order {
+		if alias == t.Root {
+			continue
+		}
+		parent := t.Parent[alias]
+		cls := t.EdgeClass[alias]
+		an, ok := attrNode[cls]
+		if !ok {
+			an = addNode(Node{Kind: AttrNode, Class: cls, Parent: relNode[parent], Alias: ""})
+			attrNode[cls] = an
+		}
+		relNode[alias] = addNode(Node{Kind: RelNode, Alias: alias, Parent: an, Class: -1})
+	}
+
+	p.genSteps(classes)
+	return p
+}
+
+// inEdgeLabel returns the relation-side label of the edge between node n
+// and its parent.
+func (p *TAGPlan) inEdgeLabel(n int, classes *Classes) ColRef {
+	node := p.Nodes[n]
+	parent := p.Nodes[node.Parent]
+	if node.Kind == RelNode {
+		col, _ := classes.ColumnOf(parent.Class, node.Alias)
+		return ColRef{Alias: node.Alias, Column: col}
+	}
+	col, _ := classes.ColumnOf(node.Class, parent.Alias)
+	return ColRef{Alias: parent.Alias, Column: col}
+}
+
+// genSteps implements Algorithm 1 (GenSteps): a recursive DFS pushing each
+// node's in-edge label on visiting, and again on leaving unless the node
+// lies on the rightmost root-leaf path. Popping the stack yields the
+// connected bottom-up traversal starting at the rightmost leaf.
+func (p *TAGPlan) genSteps(classes *Classes) {
+	if len(p.Nodes) == 1 {
+		p.StartAlias = p.Nodes[p.Root].Alias
+		return
+	}
+	var pushes []int // node ids; in-edge of each
+	var dfs func(n int, onRightPath bool)
+	dfs = func(n int, onRightPath bool) {
+		if n != p.Root {
+			pushes = append(pushes, n)
+		}
+		children := p.Nodes[n].Children
+		for i, ch := range children {
+			dfs(ch, onRightPath && i == len(children)-1)
+		}
+		if n != p.Root && !onRightPath {
+			pushes = append(pushes, n)
+		}
+	}
+	dfs(p.Root, true)
+
+	// Pop order = reversed push order.
+	order := make([]int, len(pushes))
+	for i, n := range pushes {
+		order[len(pushes)-1-i] = n
+	}
+
+	// The traversal starts at the rightmost leaf.
+	cur := p.Root
+	for {
+		ch := p.Nodes[cur].Children
+		if len(ch) == 0 {
+			break
+		}
+		cur = ch[len(ch)-1]
+	}
+	p.StartAlias = p.Nodes[cur].Alias
+
+	for _, n := range order {
+		label := p.inEdgeLabel(n, classes)
+		parent := p.Nodes[n].Parent
+		var step Step
+		switch cur {
+		case n:
+			step = Step{From: n, To: parent, Label: label}
+			cur = parent
+		case parent:
+			step = Step{From: parent, To: n, Label: label}
+			cur = n
+		default:
+			panic(fmt.Sprintf("plan: disconnected traversal at node %d (cur %d)", n, cur))
+		}
+		p.Steps = append(p.Steps, step)
+	}
+	if cur != p.Root {
+		panic("plan: traversal did not end at the root")
+	}
+}
+
+// Reversed returns the top-down step list: the bottom-up steps reversed
+// with directions flipped (drives the DOWN pass and, reversed again, the
+// collection phase).
+func Reversed(steps []Step) []Step {
+	out := make([]Step, len(steps))
+	for i, s := range steps {
+		out[len(steps)-1-i] = Step{From: s.To, To: s.From, Label: s.Label}
+	}
+	return out
+}
+
+// RelNodeOf returns the plan node id of an alias, or -1.
+func (p *TAGPlan) RelNodeOf(alias string) int {
+	for _, n := range p.Nodes {
+		if n.Kind == RelNode && n.Alias == alias {
+			return n.ID
+		}
+	}
+	return -1
+}
+
+// String renders the plan tree and steps for debugging.
+func (p *TAGPlan) String() string {
+	var b strings.Builder
+	var rec func(n, depth int)
+	rec = func(n, depth int) {
+		node := p.Nodes[n]
+		b.WriteString(strings.Repeat("  ", depth))
+		if node.Kind == RelNode {
+			fmt.Fprintf(&b, "rel %s\n", node.Alias)
+		} else {
+			fmt.Fprintf(&b, "attr class%d\n", node.Class)
+		}
+		for _, ch := range node.Children {
+			rec(ch, depth+1)
+		}
+	}
+	rec(p.Root, 0)
+	fmt.Fprintf(&b, "start=%s steps=", p.StartAlias)
+	for i, s := range p.Steps {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Label.String())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

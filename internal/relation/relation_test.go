@@ -1,0 +1,191 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := New("nation", MustSchema(Col("nationkey", KindInt), Col("name", KindString)))
+	r.MustAppend(Int(1), Str("USA"))
+	r.MustAppend(Int(2), Str("FRANCE"))
+	r.MustAppend(Int(3), Str("PERU"))
+	return r
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := MustSchema(Col("A", KindInt), Col("b", KindString))
+	if s.Index("a") != 0 || s.Index("B") != 1 {
+		t.Error("case-insensitive index lookup failed")
+	}
+	if s.Index("missing") != -1 {
+		t.Error("missing column should return -1")
+	}
+	if _, err := NewSchema(Col("x", KindInt), Col("X", KindInt)); err == nil {
+		t.Error("duplicate columns should error")
+	}
+	if got := s.String(); got != "(A INT, b STRING)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRelationAppendArity(t *testing.T) {
+	r := sampleRelation(t)
+	if err := r.Append(Tuple{Int(9)}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestProjectAndColumn(t *testing.T) {
+	r := sampleRelation(t)
+	p, err := r.Project("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema.Len() != 1 || p.Len() != 3 {
+		t.Fatalf("project shape wrong: %v", p)
+	}
+	if p.Tuples[0][0] != Str("USA") {
+		t.Errorf("projected value = %v", p.Tuples[0][0])
+	}
+	col, err := r.Column("nationkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(col) != 3 || col[2] != Int(3) {
+		t.Errorf("column = %v", col)
+	}
+	if _, err := r.Project("nope"); err == nil {
+		t.Error("projecting missing column should error")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := sampleRelation(t)
+	f := r.Filter(func(tp Tuple) bool { return tp[0].AsInt() >= 2 })
+	if f.Len() != 2 {
+		t.Errorf("filter kept %d rows, want 2", f.Len())
+	}
+}
+
+func TestEqualMultiset(t *testing.T) {
+	a := sampleRelation(t)
+	b := New("other", a.Schema)
+	// Same tuples in different order.
+	b.MustAppend(Int(3), Str("PERU"))
+	b.MustAppend(Int(1), Str("USA"))
+	b.MustAppend(Int(2), Str("FRANCE"))
+	if !EqualMultiset(a, b) {
+		t.Error("order should not matter")
+	}
+	b.MustAppend(Int(2), Str("FRANCE"))
+	if EqualMultiset(a, b) {
+		t.Error("multiplicity should matter")
+	}
+	onlyA, onlyB := DiffMultiset(a, b, 5)
+	if len(onlyA) != 0 || len(onlyB) != 1 {
+		t.Errorf("diff = %v / %v", onlyA, onlyB)
+	}
+}
+
+func TestTupleConcatClone(t *testing.T) {
+	a := Tuple{Int(1)}
+	b := Tuple{Str("x"), Int(2)}
+	c := a.Concat(b)
+	if len(c) != 3 || c[1] != Str("x") {
+		t.Errorf("concat = %v", c)
+	}
+	cl := a.Clone()
+	cl[0] = Int(99)
+	if a[0] != Int(1) {
+		t.Error("clone must not alias")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	c.MustAdd(sampleRelation(t))
+	if c.Get("NATION") == nil {
+		t.Error("case-insensitive get failed")
+	}
+	if err := c.Add(sampleRelation(t)); err == nil {
+		t.Error("duplicate add should error")
+	}
+	c.SetPrimaryKey("nation", "nationkey")
+	c.AddForeignKey(ForeignKey{Table: "customer", Column: "nationkey", RefTable: "nation", RefColumn: "nationkey"})
+	if !c.IsPKFKJoin("customer", "nationkey", "nation", "nationkey") {
+		t.Error("declared FK should be detected")
+	}
+	if !c.IsPKFKJoin("nation", "nationkey", "customer", "nationkey") {
+		t.Error("PK side should be detected symmetrically")
+	}
+	if c.IsPKFKJoin("a", "x", "b", "y") {
+		t.Error("unknown join should not be PK-FK")
+	}
+	if c.TotalTuples() != 3 {
+		t.Errorf("TotalTuples = %d", c.TotalTuples())
+	}
+	if !strings.Contains(c.String(), "nation") {
+		t.Error("String should mention relation")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New("t", MustSchema(
+		Col("i", KindInt), Col("f", KindFloat), Col("s", KindString),
+		Col("b", KindBool), Col("d", KindDate)))
+	r.MustAppend(Int(1), Float(1.5), Str("alpha"), Bool(true), DateOf(2020, 1, 2))
+	r.MustAppend(Null, Null, Null, Null, Null)
+
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("t", r.Schema, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualMultiset(r, back) {
+		t.Errorf("round trip mismatch:\n%v\nvs\n%v", r, back)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	s := MustSchema(Col("i", KindInt))
+	if _, err := ReadCSV("t", s, strings.NewReader("wrong\n1\n")); err == nil {
+		t.Error("bad header should error")
+	}
+	if _, err := ReadCSV("t", s, strings.NewReader("i\nnotint\n")); err == nil {
+		t.Error("bad int should error")
+	}
+}
+
+func TestParseValueAllKinds(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		in   string
+		want Value
+	}{
+		{KindInt, "42", Int(42)},
+		{KindFloat, "2.5", Float(2.5)},
+		{KindString, "hi", Str("hi")},
+		{KindBool, "true", Bool(true)},
+		{KindDate, "1999-12-31", DateOf(1999, 12, 31)},
+		{KindInt, "", Null},
+	}
+	for _, c := range cases {
+		got, err := ParseValue(c.kind, c.in)
+		if err != nil {
+			t.Errorf("ParseValue(%v,%q): %v", c.kind, c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseValue(%v,%q) = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns with by-name lookup.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from columns; column names must be unique
+// (case-insensitive).
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.byName[key]; dup {
+			return nil, fmt.Errorf("relation: duplicate column %q", c.Name)
+		}
+		s.byName[key] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for statically-known schemas.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Col is shorthand for constructing a Column.
+func Col(name string, kind Kind) Column { return Column{Name: name, Kind: kind} }
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Index returns the position of the named column, or -1.
+func (s *Schema) Index(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// String renders the schema as "(a INT, b STRING)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package relation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Int(42), KindInt, "42"},
+		{Int(-7), KindInt, "-7"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("hello"), KindString, "hello"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Null, KindNull, "NULL"},
+		{DateOf(1995, time.March, 15), KindDate, "1995-03-15"},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+}
+
+func TestParseDateRoundTrip(t *testing.T) {
+	v, err := ParseDate("2021-06-20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "2021-06-20" {
+		t.Fatalf("round trip got %q", v.String())
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Fatal("expected error for bad date")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(2.0), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Null, Int(0), -1},
+		{Int(0), Null, 1},
+		{Null, Null, 0},
+		{Date(10), Date(20), -1},
+		{Date(10), Int(10), 0}, // numeric cross-kind
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Null.Equal(Null) {
+		t.Error("NULL must not equal NULL")
+	}
+	if Null.Equal(Int(0)) || Int(0).Equal(Null) {
+		t.Error("NULL must not equal 0")
+	}
+	if !Int(5).Equal(Int(5)) {
+		t.Error("5 should equal 5")
+	}
+}
+
+func TestKeyCanonicalization(t *testing.T) {
+	if Float(2.0).Key() != Int(2) {
+		t.Error("integral float should fold to int key")
+	}
+	if Float(2.5).Key() != Float(2.5) {
+		t.Error("fractional float should keep its identity")
+	}
+	if Bool(true).Key() != Int(1) {
+		t.Error("bool should fold to int key")
+	}
+	if Str("x").Key() != Str("x") {
+		t.Error("string key should be stable")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		got, want Value
+	}{
+		{Add(Int(2), Int(3)), Int(5)},
+		{Sub(Int(2), Int(3)), Int(-1)},
+		{Mul(Int(4), Int(3)), Int(12)},
+		{Div(Int(7), Int(2)), Float(3.5)},
+		{Add(Float(1.5), Int(1)), Float(2.5)},
+		{Add(Date(10), Int(5)), Date(15)},
+		{Sub(Date(10), Int(5)), Date(5)},
+		{Div(Int(1), Int(0)), Null},
+		{Add(Null, Int(1)), Null},
+		{Mul(Int(1), Null), Null},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, c.got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		va, vb, vc := Float(a), Float(b), Float(c)
+		if va.Compare(vb) <= 0 && vb.Compare(vc) <= 0 {
+			return va.Compare(vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyEquivalenceProperty(t *testing.T) {
+	// Values with equal keys must compare equal (join soundness for the
+	// attribute-vertex dedup rule).
+	f := func(n int32) bool {
+		// int32 range is exactly representable in float64.
+		return Int(int64(n)).Key() == Float(float64(n)).Key()
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueSize(t *testing.T) {
+	if Int(1).Size() != 17 {
+		t.Errorf("int size = %d", Int(1).Size())
+	}
+	if Str("abcd").Size() != 21 {
+		t.Errorf("str size = %d", Str("abcd").Size())
+	}
+}

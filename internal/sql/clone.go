@@ -1,0 +1,79 @@
+package sql
+
+// CloneSelect deep-copies a Select and all nested expressions and
+// subqueries. The TAG-join executor uses it to build decorrelated
+// variants of subqueries without mutating the shared AST.
+func CloneSelect(s *Select) *Select {
+	if s == nil {
+		return nil
+	}
+	out := &Select{
+		Distinct: s.Distinct,
+		Star:     s.Star,
+		Where:    CloneExpr(s.Where),
+		Having:   CloneExpr(s.Having),
+		Union:    CloneSelect(s.Union),
+	}
+	for _, it := range s.Items {
+		out.Items = append(out.Items, SelectItem{Expr: CloneExpr(it.Expr), Alias: it.Alias})
+	}
+	for _, fi := range s.From {
+		out.From = append(out.From, FromItem{Ref: fi.Ref, Join: fi.Join, On: CloneExpr(fi.On)})
+	}
+	for _, g := range s.GroupBy {
+		out.GroupBy = append(out.GroupBy, CloneExpr(g))
+	}
+	return out
+}
+
+// CloneExpr deep-copies an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Literal:
+		v := *x
+		return &v
+	case *ColRef:
+		v := *x
+		return &v
+	case *AggRef:
+		v := *x
+		return &v
+	case *Unary:
+		return &Unary{Op: x.Op, X: CloneExpr(x.X)}
+	case *Binary:
+		return &Binary{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *Between:
+		return &Between{X: CloneExpr(x.X), Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi), Not: x.Not}
+	case *InList:
+		out := &InList{X: CloneExpr(x.X), Not: x.Not}
+		for _, it := range x.List {
+			out.List = append(out.List, CloneExpr(it))
+		}
+		return out
+	case *InSubquery:
+		return &InSubquery{X: CloneExpr(x.X), Sub: CloneSelect(x.Sub), Not: x.Not}
+	case *Exists:
+		return &Exists{Sub: CloneSelect(x.Sub), Not: x.Not}
+	case *ScalarSubquery:
+		return &ScalarSubquery{Sub: CloneSelect(x.Sub)}
+	case *Like:
+		return &Like{X: CloneExpr(x.X), Pattern: x.Pattern, Not: x.Not}
+	case *IsNull:
+		return &IsNull{X: CloneExpr(x.X), Not: x.Not}
+	case *Case:
+		out := &Case{Else: CloneExpr(x.Else)}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, When{Cond: CloneExpr(w.Cond), Then: CloneExpr(w.Then)})
+		}
+		return out
+	case *FuncCall:
+		out := &FuncCall{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, CloneExpr(a))
+		}
+		return out
+	}
+	return e
+}

@@ -1,0 +1,659 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Parse parses a single SQL query (optionally UNION ALL chained).
+func Parse(input string) (*Select, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokOp, ";")
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("unexpected %s after query", p.peek())
+	}
+	return sel, nil
+}
+
+// MustParse is Parse that panics; for statically-known workload queries.
+func MustParse(input string) *Select {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+// next consumes and returns the next token; EOF is sticky so error paths
+// can keep peeking safely.
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error near offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+// accept consumes the next token if it matches kind/text.
+func (p *parser) accept(kind TokKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && (text == "" || t.Text == text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.accept(TokKeyword, kw) {
+		return p.errorf("expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.accept(TokOp, op) {
+		return p.errorf("expected %q, got %s", op, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Select, error) {
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	head := sel
+	for p.accept(TokKeyword, "UNION") {
+		if err := p.expectKeyword("ALL"); err != nil {
+			return nil, err
+		}
+		arm, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		sel.Union = arm
+		sel = arm
+	}
+	return head, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &Select{}
+	s.Distinct = p.accept(TokKeyword, "DISTINCT")
+
+	if p.accept(TokOp, "*") {
+		s.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			s.Items = append(s.Items, item)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFrom(s); err != nil {
+		return nil, err
+	}
+
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = e
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return SelectItem{}, p.errorf("expected alias after AS, got %s", t)
+		}
+		item.Alias = t.Text
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseFrom(s *Select) error {
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return err
+	}
+	s.From = append(s.From, FromItem{Ref: ref, Join: JoinComma})
+	for {
+		var jt JoinType
+		switch {
+		case p.accept(TokOp, ","):
+			jt = JoinComma
+		case p.accept(TokKeyword, "JOIN"):
+			jt = JoinInner
+		case p.accept(TokKeyword, "INNER"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return err
+			}
+			jt = JoinInner
+		case p.accept(TokKeyword, "LEFT"):
+			p.accept(TokKeyword, "OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return err
+			}
+			jt = JoinLeft
+		case p.accept(TokKeyword, "RIGHT"):
+			p.accept(TokKeyword, "OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return err
+			}
+			jt = JoinRight
+		case p.accept(TokKeyword, "FULL"):
+			p.accept(TokKeyword, "OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return err
+			}
+			jt = JoinFull
+		default:
+			return nil
+		}
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return err
+		}
+		item := FromItem{Ref: ref, Join: jt}
+		if jt != JoinComma {
+			if err := p.expectKeyword("ON"); err != nil {
+				return err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			item.On = on
+		}
+		s.From = append(s.From, item)
+	}
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.next()
+	if t.Kind != TokIdent {
+		return TableRef{}, p.errorf("expected table name, got %s", t)
+	}
+	ref := TableRef{Table: t.Text}
+	if p.accept(TokKeyword, "AS") {
+		a := p.next()
+		if a.Kind != TokIdent {
+			return TableRef{}, p.errorf("expected alias after AS, got %s", a)
+		}
+		ref.Alias = a.Text
+	} else if p.peek().Kind == TokIdent {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// Expression precedence climbing.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		// NOT EXISTS / NOT IN fold into their node's Not flag.
+		switch e := x.(type) {
+		case *Exists:
+			e.Not = !e.Not
+			return e, nil
+		case *InSubquery:
+			e.Not = !e.Not
+			return e, nil
+		case *InList:
+			e.Not = !e.Not
+			return e, nil
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.accept(TokKeyword, "EXISTS") {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &Exists{Sub: sub}, nil
+	}
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	// Comparison operators.
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(TokOp, op) {
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	not := p.accept(TokKeyword, "NOT")
+	switch {
+	case p.accept(TokKeyword, "BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Between{X: l, Lo: lo, Hi: hi, Not: not}, nil
+	case p.accept(TokKeyword, "IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+			sub, err := p.parseQuery()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &InSubquery{X: l, Sub: sub, Not: not}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(TokOp, ",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InList{X: l, List: list, Not: not}, nil
+	case p.accept(TokKeyword, "LIKE"):
+		t := p.next()
+		if t.Kind != TokString {
+			return nil, p.errorf("LIKE requires a string pattern, got %s", t)
+		}
+		return &Like{X: l, Pattern: t.Text, Not: not}, nil
+	case p.accept(TokKeyword, "IS"):
+		isNot := p.accept(TokKeyword, "NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Not: isNot != not}, nil
+	}
+	if not {
+		return nil, p.errorf("expected BETWEEN, IN, LIKE or IS after NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokOp, "+"):
+			op = "+"
+		case p.accept(TokOp, "-"):
+			op = "-"
+		case p.accept(TokOp, "||"):
+			op = "||"
+		default:
+			return l, nil
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(TokOp, "*"):
+			op = "*"
+		case p.accept(TokOp, "/"):
+			op = "/"
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.accept(TokOp, "-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*Literal); ok { // fold negative literals
+			switch lit.Val.Kind {
+			case relation.KindInt:
+				return &Literal{Val: relation.Int(-lit.Val.I)}, nil
+			case relation.KindFloat:
+				return &Literal{Val: relation.Float(-lit.Val.F)}, nil
+			}
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q", t.Text)
+		}
+		return &Literal{Val: relation.Int(n)}, nil
+	case TokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %q", t.Text)
+		}
+		return &Literal{Val: relation.Float(f)}, nil
+	case TokString:
+		p.next()
+		return &Literal{Val: relation.Str(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &Literal{Val: relation.Null}, nil
+		case "TRUE":
+			p.next()
+			return &Literal{Val: relation.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: relation.Bool(false)}, nil
+		case "DATE":
+			p.next()
+			st := p.next()
+			if st.Kind != TokString {
+				return nil, p.errorf("DATE requires a string literal")
+			}
+			v, err := relation.ParseDate(st.Text)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			return &Literal{Val: v}, nil
+		case "INTERVAL":
+			// INTERVAL 'n' DAY|MONTH|YEAR as an integer day count
+			// (months ≈ 30 days, years ≈ 365; the generated workloads
+			// only use DAY).
+			p.next()
+			st := p.next()
+			if st.Kind != TokString {
+				return nil, p.errorf("INTERVAL requires a string literal")
+			}
+			n, err := strconv.ParseInt(strings.TrimSpace(st.Text), 10, 64)
+			if err != nil {
+				return nil, p.errorf("bad interval %q", st.Text)
+			}
+			switch {
+			case p.accept(TokKeyword, "DAY"):
+			case p.accept(TokKeyword, "MONTH"):
+				n *= 30
+			case p.accept(TokKeyword, "YEAR"):
+				n *= 365
+			default:
+				return nil, p.errorf("expected DAY, MONTH or YEAR after INTERVAL")
+			}
+			return &Literal{Val: relation.Int(n)}, nil
+		case "YEAR", "MONTH", "DAY":
+			// Scalar date-part function form: YEAR(expr).
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: t.Text, Args: []Expr{arg}}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errorf("unexpected keyword %s", t)
+	case TokOp:
+		if t.Text == "(" {
+			p.next()
+			if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+				sub, err := p.parseQuery()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &ScalarSubquery{Sub: sub}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errorf("unexpected %s", t)
+	case TokIdent:
+		p.next()
+		// Function call?
+		if p.peek().Kind == TokOp && p.peek().Text == "(" {
+			name := strings.ToUpper(t.Text)
+			p.next() // consume (
+			f := &FuncCall{Name: name}
+			if p.accept(TokOp, "*") {
+				f.Star = true
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return f, nil
+			}
+			f.Distinct = p.accept(TokKeyword, "DISTINCT")
+			if !p.accept(TokOp, ")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					f.Args = append(f.Args, a)
+					if !p.accept(TokOp, ",") {
+						break
+					}
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			return f, nil
+		}
+		// Column reference, possibly qualified.
+		if p.accept(TokOp, ".") {
+			c := p.next()
+			if c.Kind != TokIdent {
+				return nil, p.errorf("expected column after '.', got %s", c)
+			}
+			return &ColRef{Qualifier: t.Text, Column: c.Text}, nil
+		}
+		return &ColRef{Column: t.Text}, nil
+	}
+	return nil, p.errorf("unexpected %s", t)
+}
+
+func (p *parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &Case{}
+	for p.accept(TokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, When{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.accept(TokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,132 @@
+package tag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bsp"
+	"repro/internal/relation"
+)
+
+// InsertTuple adds a tuple to an already-encoded relation: a fresh tuple
+// vertex plus edges to (possibly new) attribute vertices. Per §3, no
+// reorganization of the graph is required — the insert is local.
+func (t *Graph) InsertTuple(table string, row relation.Tuple) (bsp.VertexID, error) {
+	table = strings.ToLower(table)
+	vLbl, ok := t.tupleLabel[table]
+	if !ok {
+		return 0, fmt.Errorf("tag: unknown relation %q", table)
+	}
+	rel := t.Catalog.Get(table)
+	if rel == nil || len(row) != rel.Schema.Len() {
+		return 0, fmt.Errorf("tag: bad arity for %q", table)
+	}
+
+	t.G.Thaw()
+	tv := t.G.AddVertex(vLbl, &TupleData{Table: table, Row: row})
+	t.tupleVerts[table] = append(t.tupleVerts[table], tv)
+	for i, col := range rel.Schema.Columns {
+		key := table + "." + strings.ToLower(col.Name)
+		if !t.materialized[key] || row[i].IsNull() {
+			continue
+		}
+		lbl := t.edgeLabel[key]
+		av := t.attrVertexForIncremental(row[i])
+		t.G.AddUndirectedEdge(tv, av, lbl)
+		t.addAttrByEdge(lbl, av)
+	}
+	t.G.Freeze()
+	rel.Tuples = append(rel.Tuples, row)
+	return tv, nil
+}
+
+// attrVertexForIncremental is attrVertexFor usable after Build (the
+// attrSeen build-time dedup map is gone by then).
+func (t *Graph) attrVertexForIncremental(v relation.Value) bsp.VertexID {
+	key := v.Key()
+	if id, ok := t.attrVertex[key]; ok {
+		return id
+	}
+	lbl, ok := t.attrKindLbl[key.Kind]
+	if !ok {
+		lbl = t.G.Symbols.Intern("#attr:" + key.Kind.String())
+		t.attrKindLbl[key.Kind] = lbl
+	}
+	id := t.G.AddVertex(lbl, &AttrData{Value: key})
+	t.attrVertex[key] = id
+	return id
+}
+
+// addAttrByEdge inserts av into the sorted per-label attribute list if absent.
+func (t *Graph) addAttrByEdge(lbl bsp.LabelID, av bsp.VertexID) {
+	verts := t.attrByEdge[lbl]
+	i := sort.Search(len(verts), func(k int) bool { return verts[k] >= av })
+	if i < len(verts) && verts[i] == av {
+		return
+	}
+	verts = append(verts, 0)
+	copy(verts[i+1:], verts[i:])
+	verts[i] = av
+	t.attrByEdge[lbl] = verts
+}
+
+// DeleteTuple removes a tuple vertex: its edges are deleted in both
+// directions and the vertex is marked dead. Attribute vertices are left in
+// place even if orphaned (they are harmless: with no edges they never join
+// anything). Again a purely local operation.
+func (t *Graph) DeleteTuple(v bsp.VertexID) error {
+	d := t.TupleData(v)
+	if d == nil {
+		return fmt.Errorf("tag: vertex %d is not a tuple vertex", v)
+	}
+	if d.Dead {
+		return fmt.Errorf("tag: vertex %d already deleted", v)
+	}
+	rel := t.Catalog.Get(d.Table)
+	t.G.Thaw()
+	for i, col := range rel.Schema.Columns {
+		key := d.Table + "." + strings.ToLower(col.Name)
+		if !t.materialized[key] || d.Row[i].IsNull() {
+			continue
+		}
+		av, ok := t.attrVertex[d.Row[i].Key()]
+		if !ok {
+			continue
+		}
+		lbl := t.edgeLabel[key]
+		t.G.RemoveEdge(v, av, lbl)
+		t.G.RemoveEdge(av, v, lbl)
+	}
+	t.G.Freeze()
+	d.Dead = true
+
+	// Drop the vertex from the per-relation list and the row from the
+	// catalog copy (first matching row; duplicates are interchangeable).
+	verts := t.tupleVerts[d.Table]
+	for i, tv := range verts {
+		if tv == v {
+			t.tupleVerts[d.Table] = append(verts[:i:i], verts[i+1:]...)
+			break
+		}
+	}
+	for i, row := range rel.Tuples {
+		if tuplesEqual(row, d.Row) {
+			rel.Tuples = append(rel.Tuples[:i:i], rel.Tuples[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+func tuplesEqual(a, b relation.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

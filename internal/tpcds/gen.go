@@ -1,0 +1,261 @@
+// Package tpcds generates a TPC-DS-like benchmark database and query
+// workload (§8.1.1). The official dsdgen/dsqgen tools are not
+// redistributable, so the generator is a deterministic synthetic
+// equivalent that keeps the properties the paper's evaluation relies on:
+// a multiple-snowflake schema with three fact tables and shared dimension
+// tables, fact tables that scale linearly while dimensions scale
+// sub-linearly (square root here), wider tables than TPC-H, and NULLs
+// allowed in any non-key column.
+package tpcds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// Base row counts at scale 1.0. Facts scale linearly, dimensions with
+// sqrt(scale) — the paper's sub-linear dimension scaling.
+const (
+	dateDays      = 1826 // 1998-01-01 .. 2002-12-31
+	itemBase      = 180
+	customerBase  = 120
+	addressBase   = 60
+	storeBase     = 12
+	promoBase     = 30
+	warehouseRows = 5
+	storeSalesPer = 3000
+	webSalesPer   = 1500
+	catSalesPer   = 1500
+	nullPct       = 3 // % NULLs in nullable columns
+)
+
+var (
+	states     = []string{"CA", "TX", "NY", "WA", "OR", "IL", "GA", "FL", "OH", "MI"}
+	cities     = []string{"Fairview", "Midway", "Centerville", "Oak Grove", "Pleasant Hill", "Riverside", "Salem", "Georgetown"}
+	categories = []string{"Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Toys", "Women"}
+	classes    = []string{"accessories", "classical", "fiction", "fragrances", "mens watch", "portable", "reference"}
+	dayNames   = []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+)
+
+type gen struct {
+	rng *rand.Rand
+}
+
+// maybeNull replaces v by NULL with probability nullPct%.
+func (g *gen) maybeNull(v relation.Value) relation.Value {
+	if g.rng.Intn(100) < nullPct {
+		return relation.Null
+	}
+	return v
+}
+
+func dimScaled(base int, scale float64) int {
+	n := int(float64(base) * math.Sqrt(scale))
+	if n < 3 {
+		n = 3
+	}
+	return n
+}
+
+// Generate builds the catalog at the given scale factor, deterministically
+// from the seed.
+func Generate(scale float64, seed int64) *relation.Catalog {
+	if scale <= 0 {
+		scale = 1
+	}
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	cat := relation.NewCatalog()
+
+	nItem := dimScaled(itemBase, scale)
+	nCust := dimScaled(customerBase, scale)
+	nAddr := dimScaled(addressBase, scale)
+	nStore := dimScaled(storeBase, scale)
+	nPromo := dimScaled(promoBase, scale)
+
+	// date_dim: fixed calendar.
+	dateDim := relation.New("date_dim", relation.MustSchema(
+		relation.Col("d_date_sk", relation.KindInt),
+		relation.Col("d_date", relation.KindDate),
+		relation.Col("d_year", relation.KindInt),
+		relation.Col("d_moy", relation.KindInt),
+		relation.Col("d_dom", relation.KindInt),
+		relation.Col("d_qoy", relation.KindInt),
+		relation.Col("d_day_name", relation.KindString)))
+	start := relation.DateOf(1998, 1, 1).AsInt()
+	for i := 0; i < dateDays; i++ {
+		d := relation.Date(start + int64(i))
+		year := 1998 + i/365
+		moy := (i/30)%12 + 1
+		dateDim.MustAppend(relation.Int(int64(2450000+i)), d,
+			relation.Int(int64(year)), relation.Int(int64(moy)),
+			relation.Int(int64(i%30+1)), relation.Int(int64((moy-1)/3+1)),
+			relation.Str(dayNames[i%7]))
+	}
+	cat.MustAdd(dateDim)
+	cat.SetPrimaryKey("date_dim", "d_date_sk")
+
+	// item
+	item := relation.New("item", relation.MustSchema(
+		relation.Col("i_item_sk", relation.KindInt),
+		relation.Col("i_item_id", relation.KindString),
+		relation.Col("i_category", relation.KindString),
+		relation.Col("i_class", relation.KindString),
+		relation.Col("i_brand", relation.KindString),
+		relation.Col("i_current_price", relation.KindFloat),
+		relation.Col("i_manufact_id", relation.KindInt)))
+	for i := 1; i <= nItem; i++ {
+		item.MustAppend(relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("AAAAAAAA%08d", i)),
+			g.maybeNull(relation.Str(categories[g.rng.Intn(len(categories))])),
+			g.maybeNull(relation.Str(classes[g.rng.Intn(len(classes))])),
+			g.maybeNull(relation.Str(fmt.Sprintf("brand#%d", 1+g.rng.Intn(20)))),
+			relation.Float(float64(100+g.rng.Intn(9900))/100),
+			g.maybeNull(relation.Int(int64(1+g.rng.Intn(100)))))
+	}
+	cat.MustAdd(item)
+	cat.SetPrimaryKey("item", "i_item_sk")
+
+	// customer_address
+	addr := relation.New("customer_address", relation.MustSchema(
+		relation.Col("ca_address_sk", relation.KindInt),
+		relation.Col("ca_city", relation.KindString),
+		relation.Col("ca_state", relation.KindString),
+		relation.Col("ca_country", relation.KindString),
+		relation.Col("ca_gmt_offset", relation.KindInt)))
+	for i := 1; i <= nAddr; i++ {
+		addr.MustAppend(relation.Int(int64(i)),
+			g.maybeNull(relation.Str(cities[g.rng.Intn(len(cities))])),
+			g.maybeNull(relation.Str(states[g.rng.Intn(len(states))])),
+			relation.Str("United States"),
+			g.maybeNull(relation.Int(int64(-5-g.rng.Intn(4)))))
+	}
+	cat.MustAdd(addr)
+	cat.SetPrimaryKey("customer_address", "ca_address_sk")
+
+	// customer
+	customer := relation.New("customer", relation.MustSchema(
+		relation.Col("c_customer_sk", relation.KindInt),
+		relation.Col("c_customer_id", relation.KindString),
+		relation.Col("c_current_addr_sk", relation.KindInt),
+		relation.Col("c_birth_year", relation.KindInt),
+		relation.Col("c_preferred_cust_flag", relation.KindString)))
+	for i := 1; i <= nCust; i++ {
+		customer.MustAppend(relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("CUST%010d", i)),
+			g.maybeNull(relation.Int(int64(1+g.rng.Intn(nAddr)))),
+			g.maybeNull(relation.Int(int64(1930+g.rng.Intn(70)))),
+			g.maybeNull(relation.Str([]string{"Y", "N"}[g.rng.Intn(2)])))
+	}
+	cat.MustAdd(customer)
+	cat.SetPrimaryKey("customer", "c_customer_sk")
+	cat.AddForeignKey(relation.ForeignKey{Table: "customer", Column: "c_current_addr_sk", RefTable: "customer_address", RefColumn: "ca_address_sk"})
+
+	// store
+	store := relation.New("store", relation.MustSchema(
+		relation.Col("s_store_sk", relation.KindInt),
+		relation.Col("s_store_name", relation.KindString),
+		relation.Col("s_state", relation.KindString),
+		relation.Col("s_market_id", relation.KindInt)))
+	for i := 1; i <= nStore; i++ {
+		store.MustAppend(relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("store %d", i)),
+			g.maybeNull(relation.Str(states[g.rng.Intn(len(states))])),
+			g.maybeNull(relation.Int(int64(1+g.rng.Intn(10)))))
+	}
+	cat.MustAdd(store)
+	cat.SetPrimaryKey("store", "s_store_sk")
+
+	// promotion
+	promo := relation.New("promotion", relation.MustSchema(
+		relation.Col("p_promo_sk", relation.KindInt),
+		relation.Col("p_channel_email", relation.KindString),
+		relation.Col("p_channel_tv", relation.KindString)))
+	for i := 1; i <= nPromo; i++ {
+		promo.MustAppend(relation.Int(int64(i)),
+			g.maybeNull(relation.Str([]string{"Y", "N"}[g.rng.Intn(2)])),
+			g.maybeNull(relation.Str([]string{"Y", "N"}[g.rng.Intn(2)])))
+	}
+	cat.MustAdd(promo)
+	cat.SetPrimaryKey("promotion", "p_promo_sk")
+
+	// warehouse
+	warehouse := relation.New("warehouse", relation.MustSchema(
+		relation.Col("w_warehouse_sk", relation.KindInt),
+		relation.Col("w_state", relation.KindString)))
+	for i := 1; i <= warehouseRows; i++ {
+		warehouse.MustAppend(relation.Int(int64(i)), relation.Str(states[i%len(states)]))
+	}
+	cat.MustAdd(warehouse)
+	cat.SetPrimaryKey("warehouse", "w_warehouse_sk")
+
+	// Fact tables. Dates are skewed toward the middle years (TPC-DS's
+	// non-uniform distributions).
+	dateSK := func() relation.Value {
+		i := g.rng.Intn(dateDays)
+		if g.rng.Intn(2) == 0 { // re-draw toward the middle
+			i = dateDays/4 + g.rng.Intn(dateDays/2)
+		}
+		return relation.Int(int64(2450000 + i))
+	}
+
+	factSchema := func(prefix string, custCol, locCol string) *relation.Schema {
+		return relation.MustSchema(
+			relation.Col(prefix+"_sold_date_sk", relation.KindInt),
+			relation.Col(prefix+"_item_sk", relation.KindInt),
+			relation.Col(custCol, relation.KindInt),
+			relation.Col(locCol, relation.KindInt),
+			relation.Col(prefix+"_promo_sk", relation.KindInt),
+			relation.Col(prefix+"_quantity", relation.KindInt),
+			relation.Col(prefix+"_sales_price", relation.KindFloat),
+			relation.Col(prefix+"_ext_sales_price", relation.KindFloat),
+			relation.Col(prefix+"_net_profit", relation.KindFloat))
+	}
+	fillFact := func(r *relation.Relation, rows, nLoc int) {
+		for i := 0; i < rows; i++ {
+			qty := 1 + g.rng.Intn(100)
+			price := float64(100+g.rng.Intn(29900)) / 100
+			r.MustAppend(
+				g.maybeNull(dateSK()),
+				relation.Int(int64(1+g.rng.Intn(nItem))),
+				g.maybeNull(relation.Int(int64(1+g.rng.Intn(nCust)))),
+				g.maybeNull(relation.Int(int64(1+g.rng.Intn(nLoc)))),
+				g.maybeNull(relation.Int(int64(1+g.rng.Intn(nPromo)))),
+				relation.Int(int64(qty)),
+				relation.Float(price),
+				relation.Float(price*float64(qty)),
+				relation.Float(price*float64(qty)*(0.1+g.rng.Float64()*0.4)))
+		}
+	}
+
+	ss := relation.New("store_sales", factSchema("ss", "ss_customer_sk", "ss_store_sk"))
+	fillFact(ss, int(storeSalesPer*scale), nStore)
+	cat.MustAdd(ss)
+	ws := relation.New("web_sales", factSchema("ws", "ws_bill_customer_sk", "ws_warehouse_sk"))
+	fillFact(ws, int(webSalesPer*scale), warehouseRows)
+	cat.MustAdd(ws)
+	cs := relation.New("catalog_sales", factSchema("cs", "cs_bill_customer_sk", "cs_warehouse_sk"))
+	fillFact(cs, int(catSalesPer*scale), warehouseRows)
+	cat.MustAdd(cs)
+
+	for _, fk := range []struct{ t, c, rt, rc string }{
+		{"store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"},
+		{"store_sales", "ss_item_sk", "item", "i_item_sk"},
+		{"store_sales", "ss_customer_sk", "customer", "c_customer_sk"},
+		{"store_sales", "ss_store_sk", "store", "s_store_sk"},
+		{"store_sales", "ss_promo_sk", "promotion", "p_promo_sk"},
+		{"web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk"},
+		{"web_sales", "ws_item_sk", "item", "i_item_sk"},
+		{"web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk"},
+		{"web_sales", "ws_warehouse_sk", "warehouse", "w_warehouse_sk"},
+		{"catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"},
+		{"catalog_sales", "cs_item_sk", "item", "i_item_sk"},
+		{"catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk"},
+		{"catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk"},
+	} {
+		cat.AddForeignKey(relation.ForeignKey{Table: fk.t, Column: fk.c, RefTable: fk.rt, RefColumn: fk.rc})
+	}
+	return cat
+}

@@ -1,0 +1,292 @@
+// Package tpch generates a TPC-H-like benchmark database and query
+// workload (§8.1.1 of the paper). The official dbgen tool is not
+// redistributable, so the generator is a deterministic synthetic
+// equivalent with the same 8-table 3NF schema, the same PK/FK structure,
+// and the same scaling discipline (all tables scale linearly with the
+// scale factor). Scale factor 1.0 here corresponds to roughly 1/1000 of
+// the row counts of TPC-H SF-1, keeping warm-run benchmarks laptop-sized
+// while preserving the relative table-size ratios.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+)
+
+// Row counts at scale factor 1.0 (1/1000 of TPC-H SF-1).
+const (
+	regionRows    = 5
+	nationRows    = 25
+	supplierBase  = 10
+	customerBase  = 150
+	partBase      = 200
+	partsuppPerP  = 4
+	ordersPerCust = 10
+	maxLinesPerO  = 7
+)
+
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nationNames = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP PACK"}
+	brands     = []string{"Brand#11", "Brand#12", "Brand#13", "Brand#21", "Brand#22", "Brand#23", "Brand#31", "Brand#32", "Brand#33"}
+	types      = []string{"STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED BRASS", "ECONOMY BRUSHED STEEL", "PROMO BURNISHED NICKEL", "LARGE ANODIZED BRASS"}
+	returnFlag = []string{"R", "A", "N"}
+	lineStatus = []string{"O", "F"}
+	orderStati = []string{"O", "F", "P"}
+)
+
+// Generate builds the catalog at the given scale factor, deterministically
+// from the seed. Scale 1.0 is ~150 customers / 1500 orders / ~6000
+// lineitems; the benchmark harness uses scales in [0.5, 4].
+func Generate(scale float64, seed int64) *relation.Catalog {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cat := relation.NewCatalog()
+
+	nSupp := scaled(supplierBase, scale)
+	nCust := scaled(customerBase, scale)
+	nPart := scaled(partBase, scale)
+
+	// region
+	region := relation.New("region", relation.MustSchema(
+		relation.Col("r_regionkey", relation.KindInt),
+		relation.Col("r_name", relation.KindString),
+		relation.Col("r_comment", relation.KindString)))
+	for i := 0; i < regionRows; i++ {
+		region.MustAppend(relation.Int(int64(i)), relation.Str(regionNames[i]), comment(rng))
+	}
+	cat.MustAdd(region)
+	cat.SetPrimaryKey("region", "r_regionkey")
+
+	// nation
+	nation := relation.New("nation", relation.MustSchema(
+		relation.Col("n_nationkey", relation.KindInt),
+		relation.Col("n_name", relation.KindString),
+		relation.Col("n_regionkey", relation.KindInt),
+		relation.Col("n_comment", relation.KindString)))
+	for i := 0; i < nationRows; i++ {
+		nation.MustAppend(relation.Int(int64(i)), relation.Str(nationNames[i]),
+			relation.Int(int64(i%regionRows)), comment(rng))
+	}
+	cat.MustAdd(nation)
+	cat.SetPrimaryKey("nation", "n_nationkey")
+	cat.AddForeignKey(relation.ForeignKey{Table: "nation", Column: "n_regionkey", RefTable: "region", RefColumn: "r_regionkey"})
+
+	// supplier
+	supplier := relation.New("supplier", relation.MustSchema(
+		relation.Col("s_suppkey", relation.KindInt),
+		relation.Col("s_name", relation.KindString),
+		relation.Col("s_nationkey", relation.KindInt),
+		relation.Col("s_acctbal", relation.KindFloat),
+		relation.Col("s_comment", relation.KindString)))
+	for i := 1; i <= nSupp; i++ {
+		supplier.MustAppend(relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("Supplier#%09d", i)),
+			relation.Int(int64(rng.Intn(nationRows))),
+			relation.Float(money(rng, -999, 9999)),
+			supplierComment(rng))
+	}
+	cat.MustAdd(supplier)
+	cat.SetPrimaryKey("supplier", "s_suppkey")
+	cat.AddForeignKey(relation.ForeignKey{Table: "supplier", Column: "s_nationkey", RefTable: "nation", RefColumn: "n_nationkey"})
+
+	// customer
+	customer := relation.New("customer", relation.MustSchema(
+		relation.Col("c_custkey", relation.KindInt),
+		relation.Col("c_name", relation.KindString),
+		relation.Col("c_nationkey", relation.KindInt),
+		relation.Col("c_mktsegment", relation.KindString),
+		relation.Col("c_acctbal", relation.KindFloat),
+		relation.Col("c_comment", relation.KindString)))
+	for i := 1; i <= nCust; i++ {
+		customer.MustAppend(relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("Customer#%09d", i)),
+			relation.Int(int64(rng.Intn(nationRows))),
+			relation.Str(segments[rng.Intn(len(segments))]),
+			relation.Float(money(rng, -999, 9999)),
+			comment(rng))
+	}
+	cat.MustAdd(customer)
+	cat.SetPrimaryKey("customer", "c_custkey")
+	cat.AddForeignKey(relation.ForeignKey{Table: "customer", Column: "c_nationkey", RefTable: "nation", RefColumn: "n_nationkey"})
+
+	// part
+	part := relation.New("part", relation.MustSchema(
+		relation.Col("p_partkey", relation.KindInt),
+		relation.Col("p_name", relation.KindString),
+		relation.Col("p_brand", relation.KindString),
+		relation.Col("p_type", relation.KindString),
+		relation.Col("p_size", relation.KindInt),
+		relation.Col("p_container", relation.KindString),
+		relation.Col("p_retailprice", relation.KindFloat)))
+	for i := 1; i <= nPart; i++ {
+		part.MustAppend(relation.Int(int64(i)),
+			relation.Str(fmt.Sprintf("part %s %d", types[rng.Intn(len(types))], i)),
+			relation.Str(brands[rng.Intn(len(brands))]),
+			relation.Str(types[rng.Intn(len(types))]),
+			relation.Int(int64(1+rng.Intn(50))),
+			relation.Str(containers[rng.Intn(len(containers))]),
+			relation.Float(money(rng, 900, 2000)))
+	}
+	cat.MustAdd(part)
+	cat.SetPrimaryKey("part", "p_partkey")
+
+	// partsupp
+	partsupp := relation.New("partsupp", relation.MustSchema(
+		relation.Col("ps_partkey", relation.KindInt),
+		relation.Col("ps_suppkey", relation.KindInt),
+		relation.Col("ps_availqty", relation.KindInt),
+		relation.Col("ps_supplycost", relation.KindFloat)))
+	for p := 1; p <= nPart; p++ {
+		for k := 0; k < partsuppPerP; k++ {
+			s := 1 + (p+k*(nPart/partsuppPerP+1))%nSupp
+			partsupp.MustAppend(relation.Int(int64(p)), relation.Int(int64(s)),
+				relation.Int(int64(1+rng.Intn(9999))),
+				relation.Float(money(rng, 1, 1000)))
+		}
+	}
+	cat.MustAdd(partsupp)
+	cat.AddForeignKey(relation.ForeignKey{Table: "partsupp", Column: "ps_partkey", RefTable: "part", RefColumn: "p_partkey"})
+	cat.AddForeignKey(relation.ForeignKey{Table: "partsupp", Column: "ps_suppkey", RefTable: "supplier", RefColumn: "s_suppkey"})
+
+	// orders + lineitem
+	orders := relation.New("orders", relation.MustSchema(
+		relation.Col("o_orderkey", relation.KindInt),
+		relation.Col("o_custkey", relation.KindInt),
+		relation.Col("o_orderstatus", relation.KindString),
+		relation.Col("o_totalprice", relation.KindFloat),
+		relation.Col("o_orderdate", relation.KindDate),
+		relation.Col("o_orderpriority", relation.KindString),
+		relation.Col("o_shippriority", relation.KindInt),
+		relation.Col("o_comment", relation.KindString)))
+	lineitem := relation.New("lineitem", relation.MustSchema(
+		relation.Col("l_orderkey", relation.KindInt),
+		relation.Col("l_partkey", relation.KindInt),
+		relation.Col("l_suppkey", relation.KindInt),
+		relation.Col("l_linenumber", relation.KindInt),
+		relation.Col("l_quantity", relation.KindInt),
+		relation.Col("l_extendedprice", relation.KindFloat),
+		relation.Col("l_discount", relation.KindFloat),
+		relation.Col("l_tax", relation.KindFloat),
+		relation.Col("l_returnflag", relation.KindString),
+		relation.Col("l_linestatus", relation.KindString),
+		relation.Col("l_shipdate", relation.KindDate),
+		relation.Col("l_commitdate", relation.KindDate),
+		relation.Col("l_receiptdate", relation.KindDate),
+		relation.Col("l_shipinstruct", relation.KindString),
+		relation.Col("l_shipmode", relation.KindString)))
+
+	epoch92 := relation.DateOf(1992, 1, 1).AsInt()
+	okey := int64(0)
+	for c := 1; c <= nCust; c++ {
+		// Roughly a third of customers place no orders (TPC-H property).
+		n := ordersPerCust + rng.Intn(7) - 3
+		if c%3 == 0 {
+			n = 0
+		}
+		for o := 0; o < n; o++ {
+			okey++
+			odate := epoch92 + int64(rng.Intn(2400)) // 1992..mid-1998
+			lines := 1 + rng.Intn(maxLinesPerO)
+			total := 0.0
+			for ln := 1; ln <= lines; ln++ {
+				qty := 1 + rng.Intn(50)
+				price := money(rng, 900, 10000)
+				disc := float64(rng.Intn(11)) / 100
+				tax := float64(rng.Intn(9)) / 100
+				ship := odate + 1 + int64(rng.Intn(121))
+				commit := odate + 30 + int64(rng.Intn(61))
+				receipt := ship + 1 + int64(rng.Intn(30))
+				total += price * float64(qty) * (1 - disc)
+				lineitem.MustAppend(
+					relation.Int(okey),
+					relation.Int(int64(1+rng.Intn(nPart))),
+					relation.Int(int64(1+rng.Intn(nSupp))),
+					relation.Int(int64(ln)),
+					relation.Int(int64(qty)),
+					relation.Float(price*float64(qty)),
+					relation.Float(disc),
+					relation.Float(tax),
+					relation.Str(returnFlag[rng.Intn(len(returnFlag))]),
+					relation.Str(lineStatus[rng.Intn(len(lineStatus))]),
+					relation.Date(ship),
+					relation.Date(commit),
+					relation.Date(receipt),
+					relation.Str(instructs[rng.Intn(len(instructs))]),
+					relation.Str(shipModes[rng.Intn(len(shipModes))]))
+			}
+			orders.MustAppend(
+				relation.Int(okey),
+				relation.Int(int64(c)),
+				relation.Str(orderStati[rng.Intn(len(orderStati))]),
+				relation.Float(total),
+				relation.Date(odate),
+				relation.Str(priorities[rng.Intn(len(priorities))]),
+				relation.Int(int64(rng.Intn(2))),
+				comment(rng))
+		}
+	}
+	cat.MustAdd(orders)
+	cat.SetPrimaryKey("orders", "o_orderkey")
+	cat.AddForeignKey(relation.ForeignKey{Table: "orders", Column: "o_custkey", RefTable: "customer", RefColumn: "c_custkey"})
+	cat.MustAdd(lineitem)
+	cat.AddForeignKey(relation.ForeignKey{Table: "lineitem", Column: "l_orderkey", RefTable: "orders", RefColumn: "o_orderkey"})
+	cat.AddForeignKey(relation.ForeignKey{Table: "lineitem", Column: "l_partkey", RefTable: "part", RefColumn: "p_partkey"})
+	cat.AddForeignKey(relation.ForeignKey{Table: "lineitem", Column: "l_suppkey", RefTable: "supplier", RefColumn: "s_suppkey"})
+
+	return cat
+}
+
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+func money(rng *rand.Rand, lo, hi float64) float64 {
+	return float64(int((lo+rng.Float64()*(hi-lo))*100)) / 100
+}
+
+var commentWords = []string{
+	"carefully", "final", "deposits", "sleep", "quickly", "special",
+	"requests", "haggle", "furiously", "ironic", "packages", "bold",
+	"pending", "accounts", "express", "instructions",
+}
+
+func comment(rng *rand.Rand) relation.Value {
+	n := 3 + rng.Intn(5)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += commentWords[rng.Intn(len(commentWords))]
+	}
+	return relation.Str(out)
+}
+
+// supplierComment occasionally embeds the q16 "Customer Complaints"
+// marker so LIKE predicates select something.
+func supplierComment(rng *rand.Rand) relation.Value {
+	if rng.Intn(20) == 0 {
+		return relation.Str("wake up Customer Complaints quickly")
+	}
+	return comment(rng)
+}
