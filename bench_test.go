@@ -10,6 +10,7 @@ package repro_test
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 )
@@ -321,5 +322,22 @@ func BenchmarkAblationPolicy(b *testing.B) {
 		}
 		b.ReportMetric(float64(res[0].Bytes)/1024, "default_kb")
 		b.ReportMetric(float64(res[1].Bytes)/1024, "all_kb")
+	}
+}
+
+// BenchmarkConcurrentServe measures aggregate serving throughput over one
+// frozen TAG graph: the internal/serve session pool against a serialized
+// single session and against re-encoding the graph per query.
+func BenchmarkConcurrentServe(b *testing.B) {
+	cfg := bench.Config{Scales: []float64{0.2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Concurrency(cfg, "tpch", []int{4}, 300*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res[0].QPS["pooled"], "pooled_qps")
+		b.ReportMetric(res[0].QPS["serial"], "serial_qps")
+		b.ReportMetric(res[0].QPS["rebuild"], "rebuild_qps")
 	}
 }

@@ -8,6 +8,9 @@
 //	distributed Figure 16 + Tables 16/17 on the simulated cluster
 //	ablation    design-choice ablations (θ sweep, Cartesian A/B, LA vs GA,
 //	            thread scaling, materialization policy)
+//	serve       concurrent-serving throughput (QPS at 1/4/16 clients:
+//	            session pool vs serialized single session vs per-query
+//	            graph rebuild)
 //	all         everything above
 package main
 
@@ -17,12 +20,13 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: load|tpch|tpcds|memory|distributed|ablation|all")
+	exp := flag.String("exp", "all", "experiment: load|tpch|tpcds|memory|distributed|ablation|serve|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
@@ -58,6 +62,18 @@ func main() {
 	run("memory", func() error { return runMemory(cfg) })
 	run("distributed", func() error { return runDistributed(cfg) })
 	run("ablation", func() error { return runAblation(cfg) })
+	run("serve", func() error { return runServe(cfg) })
+}
+
+func runServe(cfg bench.Config) error {
+	for _, workload := range []string{"tpch", "tpcds"} {
+		res, err := bench.Concurrency(cfg, workload, []int{1, 4, 16}, 500*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		bench.PrintConcurrency(cfg.Out, workload, res)
+	}
+	return nil
 }
 
 func runLoad(cfg bench.Config) error {

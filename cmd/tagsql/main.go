@@ -41,28 +41,38 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Build the chosen engine once: the TAG encoding is query-independent,
+	// so the graph and executor are shared by every line of the shell.
+	var ex *core.Executor
+	var ref *baseline.Engine
+	switch *engine {
+	case "tag":
+		g, err := tag.Build(cat, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ex = core.NewExecutor(g, bsp.Options{})
+	case "refdb":
+		ref = baseline.New(cat)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+
 	runQuery := func(q string) {
 		start := time.Now()
 		var out *relation.Relation
 		var err error
 		var extra string
-		switch *engine {
-		case "tag":
-			g, berr := tag.Build(cat, nil)
-			if berr != nil {
-				fmt.Fprintln(os.Stderr, berr)
-				return
-			}
-			ex := core.NewExecutor(g, bsp.Options{})
+		if ex != nil {
+			ex.ResetStats()
 			out, err = ex.Query(q)
 			if err == nil && *stats {
 				extra = fmt.Sprintf("agg=%s acyclic=%v %s", ex.Info.Agg, ex.Info.Acyclic, ex.Stats())
 			}
-		case "refdb":
-			out, err = baseline.New(cat).Query(q)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
-			return
+		} else {
+			out, err = ref.Query(q)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

@@ -99,6 +99,20 @@ func (s *Stats) Add(other Stats) {
 	s.ActiveVisits += other.ActiveVisits
 }
 
+// Sub returns s - other, the delta between two cumulative snapshots
+// (e.g. one query's cost out of a session's running totals).
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Supersteps:      s.Supersteps - other.Supersteps,
+		Messages:        s.Messages - other.Messages,
+		MessageBytes:    s.MessageBytes - other.MessageBytes,
+		NetworkMessages: s.NetworkMessages - other.NetworkMessages,
+		NetworkBytes:    s.NetworkBytes - other.NetworkBytes,
+		ComputeOps:      s.ComputeOps - other.ComputeOps,
+		ActiveVisits:    s.ActiveVisits - other.ActiveVisits,
+	}
+}
+
 // String renders the stats compactly.
 func (s Stats) String() string {
 	return fmt.Sprintf("supersteps=%d msgs=%d bytes=%d netMsgs=%d netBytes=%d ops=%d visits=%d",
@@ -113,6 +127,14 @@ type outMsg struct {
 // Engine executes vertex programs over a frozen graph. An Engine may run
 // several programs in sequence over the same graph (as TAG-join does for
 // its reduction and collection phases); Stats accumulate across runs.
+//
+// Concurrency contract: an Engine holds per-run mutable state (inboxes,
+// stats, aggregators), so a single Engine runs one program at a time.
+// Any number of Engines may run concurrently over the same *frozen*
+// Graph, each serving one in-flight query — that is how internal/serve's
+// session pool shares one TAG encoding across simultaneous queries. The
+// graph must not be thawed (incremental maintenance) while any engine on
+// it is running.
 type Engine struct {
 	g    *Graph
 	opts Options
@@ -298,15 +320,7 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 	}
 	e.dirty = e.dirty[:0]
 
-	run := e.stats
-	run.Supersteps -= before.Supersteps
-	run.Messages -= before.Messages
-	run.MessageBytes -= before.MessageBytes
-	run.NetworkMessages -= before.NetworkMessages
-	run.NetworkBytes -= before.NetworkBytes
-	run.ComputeOps -= before.ComputeOps
-	run.ActiveVisits -= before.ActiveVisits
-	return run
+	return e.stats.Sub(before)
 }
 
 // Context is the per-worker view handed to Compute. All methods are safe

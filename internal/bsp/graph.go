@@ -28,6 +28,9 @@ type vertex struct {
 
 // Graph is a labeled directed multigraph with per-vertex payloads.
 // Build with AddVertex/AddEdge, then call Freeze before running programs.
+// Once frozen, the structure is immutable and safe for any number of
+// concurrent readers (engines); Thaw/mutate/Freeze cycles require
+// exclusive access — no engine may be running during maintenance.
 type Graph struct {
 	Symbols  *SymbolTable
 	vertices []vertex

@@ -87,7 +87,7 @@ func groupKeyString(key []relation.Value) string {
 
 // groupLocally folds rows into per-group partial accumulators; groupBy
 // and aggregate arguments must be vertex-safe expressions.
-func (e *Executor) groupLocally(c *compiled, setup *aggSetup, t *table, rows [][]relation.Value, outer *sql.Env) (map[string]*groupAcc, []string, error) {
+func (e *Session) groupLocally(c *compiled, setup *aggSetup, t *table, rows [][]relation.Value, outer *sql.Env) (map[string]*groupAcc, []string, error) {
 	env := &sql.Env{Binding: sql.Binding(t.index), Parent: outer}
 	groups := map[string]*groupAcc{}
 	var order []string
@@ -131,7 +131,7 @@ func (e *Executor) groupLocally(c *compiled, setup *aggSetup, t *table, rows [][
 }
 
 // residualRows applies the block's residual predicates to a table's rows.
-func (e *Executor) residualRows(c *compiled, t *table, outer *sql.Env) ([][]relation.Value, error) {
+func (e *Session) residualRows(c *compiled, t *table, outer *sql.Env) ([][]relation.Value, error) {
 	if len(c.residual) == 0 {
 		return t.rows, nil
 	}
@@ -167,7 +167,7 @@ func (res *componentResult) vertexTable(v bsp.VertexID) *table {
 
 // finalizeNone handles blocks without aggregation: survivors filter their
 // tables vertex-parallel and emit rows; projection happens centrally.
-func (e *Executor) finalizeNone(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+func (e *Session) finalizeNone(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
 	var errMu sync.Mutex
 	var firstErr error
 	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
@@ -213,7 +213,7 @@ func (e *Executor) finalizeNone(c *compiled, res *componentResult, outer *sql.En
 // their rows and send the partial groups to the attribute vertex of the
 // group key, where each group's aggregation completes in parallel with
 // all other groups.
-func (e *Executor) finalizeLocal(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+func (e *Session) finalizeLocal(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
 	setup := newAggSetup(c.blk)
 	attrMerged := map[string]*groupAcc{}
 	var attrOrder []string
@@ -309,7 +309,7 @@ func (e *Executor) finalizeLocal(c *compiled, res *componentResult, outer *sql.E
 // finalizeGlobal is the §7 global/scalar aggregation path: survivors send
 // partial groups to the single global aggregator vertex, which merges
 // them sequentially (the bottleneck the paper measures on GA queries).
-func (e *Executor) finalizeGlobal(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+func (e *Session) finalizeGlobal(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
 	setup := newAggSetup(c.blk)
 	merged := map[string]*groupAcc{}
 	var order []string
@@ -426,7 +426,7 @@ func (e *Executor) finalizeGlobal(c *compiled, res *componentResult, outer *sql.
 
 // projectGroups applies HAVING and the SELECT list to merged groups.
 // srcHeader is the header the representative rows were built against.
-func (e *Executor) projectGroups(c *compiled, setup *aggSetup, groups map[string]*groupAcc, order []string, srcHeader []string, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+func (e *Session) projectGroups(c *compiled, setup *aggSetup, groups map[string]*groupAcc, order []string, srcHeader []string, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
 	blk := c.blk
 	out := relation.New("result", blk.OutputSchema())
 

@@ -11,7 +11,7 @@ import (
 // §6.3: every tuple vertex of both relations sends its data to the global
 // aggregator vertex, which builds the product sequentially. Communication
 // is O(|R|+|S|) but computation is centralized.
-func (e *Executor) CartesianA(tableR, tableS string) (*relation.Relation, error) {
+func (e *Session) CartesianA(tableR, tableS string) (*relation.Relation, error) {
 	relR, relS := e.TAG.Catalog.Get(tableR), e.TAG.Catalog.Get(tableS)
 	if relR == nil || relS == nil {
 		return nil, fmt.Errorf("core: unknown relation %q or %q", tableR, tableS)
@@ -64,7 +64,7 @@ func (e *Executor) CartesianA(tableR, tableS string) (*relation.Relation, error)
 // their tuples to all R vertices, and each R vertex builds its slice of
 // the product in parallel. Total communication is O(|R|·|S|) — the size
 // of the answer — but the computation is spread over the R vertices.
-func (e *Executor) CartesianB(tableR, tableS string) (*relation.Relation, error) {
+func (e *Session) CartesianB(tableR, tableS string) (*relation.Relation, error) {
 	relR, relS := e.TAG.Catalog.Get(tableR), e.TAG.Catalog.Get(tableS)
 	if relR == nil || relS == nil {
 		return nil, fmt.Errorf("core: unknown relation %q or %q", tableR, tableS)

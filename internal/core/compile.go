@@ -92,7 +92,7 @@ type compiled struct {
 }
 
 // compileBlock builds the executable form of blk.
-func (e *Executor) compileBlock(an *sql.Analysis, blk *sql.Analyzed) (*compiled, error) {
+func (e *Session) compileBlock(an *sql.Analysis, blk *sql.Analyzed) (*compiled, error) {
 	c := &compiled{
 		an:         an,
 		blk:        blk,
@@ -187,7 +187,7 @@ func (e *Executor) compileBlock(an *sql.Analysis, blk *sql.Analyzed) (*compiled,
 }
 
 // compilePredicate wraps a conjunct, attempting subquery decorrelation.
-func (e *Executor) compilePredicate(an *sql.Analysis, blk *sql.Analyzed, conj sql.Expr) *predicate {
+func (e *Session) compilePredicate(an *sql.Analysis, blk *sql.Analyzed, conj sql.Expr) *predicate {
 	if p := e.tryDecorrelate(an, blk, conj); p != nil {
 		return p
 	}

@@ -12,7 +12,7 @@ import (
 // componentRun is the per-component execution state shared by the
 // reduction and collection vertex programs (Algorithm 2).
 type componentRun struct {
-	ex    *Executor
+	ex    *Session
 	c     *compiled
 	comp  *plan.Component
 	outer *sql.Env
@@ -71,7 +71,7 @@ type componentResult struct {
 // runComponent executes TAG-join for one plan component: the optional
 // cycle pre-pass (§6), the reduction phase (UP+DOWN semijoin marking),
 // then the collection phase.
-func (e *Executor) runComponent(c *compiled, comp *plan.Component, outer *sql.Env, subq sql.SubqueryFn) (*componentResult, error) {
+func (e *Session) runComponent(c *compiled, comp *plan.Component, outer *sql.Env, subq sql.SubqueryFn) (*componentResult, error) {
 	r := &componentRun{ex: e, c: c, comp: comp, outer: outer, subq: subq,
 		filterOK:  map[string][]int8{},
 		prefilter: map[string]map[bsp.VertexID]bool{},

@@ -47,7 +47,7 @@ func (dt *decorrTable) lookup(env *sql.Env) (*relation.Relation, error) {
 // nil when any nested subquery does not fit the supported shape (single
 // block, correlation only through top-level equality predicates with the
 // current block, aggregates only in scalar form).
-func (e *Executor) tryDecorrelate(an *sql.Analysis, blk *sql.Analyzed, conj sql.Expr) *predicate {
+func (e *Session) tryDecorrelate(an *sql.Analysis, blk *sql.Analyzed, conj sql.Expr) *predicate {
 	subs := sql.SubSelects(conj)
 	if len(subs) == 0 {
 		return nil
@@ -106,7 +106,7 @@ func (*decorrError) Error() string { return "core: subquery not decorrelated" }
 
 // decorrelateSub checks the shape of one subquery and, if supported,
 // executes its decorrelated variant and builds the lookup table.
-func (e *Executor) decorrelateSub(an *sql.Analysis, sub *sql.Select) (*decorrTable, bool) {
+func (e *Session) decorrelateSub(an *sql.Analysis, sub *sql.Select) (*decorrTable, bool) {
 	subBlk := an.Blocks[sub]
 	if subBlk == nil || sub.Union != nil {
 		return nil, false

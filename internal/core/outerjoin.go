@@ -11,7 +11,7 @@ import (
 // which side to NULL-extend); larger outer queries scan each table
 // vertex-parallel and perform the left-deep outer joins at the executor,
 // which §7 describes only for the two-way case.
-func (e *Executor) runOuterBlock(c *compiled, outer *sql.Env) (*relation.Relation, error) {
+func (e *Session) runOuterBlock(c *compiled, outer *sql.Env) (*relation.Relation, error) {
 	an := c.an
 	subq := e.subqueryFn(an)
 
@@ -60,7 +60,7 @@ func (e *Executor) runOuterBlock(c *compiled, outer *sql.Env) (*relation.Relatio
 }
 
 // scanAlias materializes an alias's needed columns vertex-parallel.
-func (e *Executor) scanAlias(c *compiled, alias string) *table {
+func (e *Session) scanAlias(c *compiled, alias string) *table {
 	header := append(append([]string{}, c.bindKeys[alias]...), idCol(alias))
 	out := newTable(header)
 	idx := c.neededIdx[alias]
@@ -87,7 +87,7 @@ func (e *Executor) scanAlias(c *compiled, alias string) *table {
 // tableJoinOn hash-joins two tables on the equi conjuncts of ON and
 // evaluates the remaining conjuncts row-wise; leftOuter/rightOuter select
 // NULL-extension sides.
-func (e *Executor) tableJoinOn(c *compiled, l, r *table, on sql.Expr, outer *sql.Env, subq sql.SubqueryFn, leftOuter, rightOuter bool) (*table, error) {
+func (e *Session) tableJoinOn(c *compiled, l, r *table, on sql.Expr, outer *sql.Env, subq sql.SubqueryFn, leftOuter, rightOuter bool) (*table, error) {
 	type hashPair struct{ ls, rs int }
 	var pairs []hashPair
 	var rest []sql.Expr
@@ -204,7 +204,7 @@ func allIdx(n int) []int {
 // when the block is exactly two tables joined by one outer join whose ON
 // clause is a single equality on materialized columns. It returns
 // (table, handled, error).
-func (e *Executor) tryVertexOuter(c *compiled, outer *sql.Env, subq sql.SubqueryFn) (*table, bool, error) {
+func (e *Session) tryVertexOuter(c *compiled, outer *sql.Env, subq sql.SubqueryFn) (*table, bool, error) {
 	sel := c.blk.Sel
 	if len(sel.From) != 2 {
 		return nil, false, nil

@@ -21,7 +21,7 @@ func TestLemma51FullReducer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex := NewExecutor(g, bsp.Options{Workers: 2})
+	ex := NewSession(g, bsp.Options{Workers: 2})
 	an, err := sql.AnalyzeString(cat,
 		"SELECT okey FROM nation, cust, ord WHERE cnation = nkey AND ocust = ckey")
 	if err != nil {

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bsp"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/tag"
+)
+
+// Session holds all per-query mutable state of one evaluation over a
+// shared, frozen TAG graph: its own BSP engine (inboxes, stats), the
+// subquery memoization caches, the decorrelation tables, and a snapshot
+// of the ablation knobs. A Session runs one query at a time, but any
+// number of Sessions may evaluate concurrently over the same tag.Graph
+// as long as the graph is frozen and not being mutated (no
+// InsertTuple/DeleteTuple/Thaw while queries are in flight) — the TAG
+// encoding is query-independent, so serving N queries means N Sessions
+// over one graph.
+type Session struct {
+	TAG  *tag.Graph
+	Opts bsp.Options
+
+	// Theta overrides the heavy/light threshold of cyclic queries
+	// (§6.1.2); 0 means the default θ = √IN.
+	Theta float64
+
+	// DisablePartialAgg turns off the eager/partial aggregation of §7.
+	DisablePartialAgg bool
+
+	// ForceCyclePrePass runs the §6.2 heavy/light cycle reduction even on
+	// PK-FK-dominated cycles that would normally take the §6.1.1 shortcut.
+	ForceCyclePrePass bool
+
+	// ForceGlobalAgg routes local-aggregation queries through the global
+	// aggregator vertex instead of parallel per-attribute-vertex
+	// aggregation (§7/§8.3).
+	ForceGlobalAgg bool
+
+	eng  *bsp.Engine
+	Info ExecInfo
+
+	subCache  map[*sql.Select]*relation.Relation
+	corrCache map[string]*relation.Relation
+	decorr    map[*sql.Select]*decorrTable
+}
+
+// NewSession prepares an independent evaluation session over t. The
+// returned Session owns a private BSP engine, so it shares nothing
+// mutable with other sessions on the same graph.
+func NewSession(t *tag.Graph, opts bsp.Options) *Session {
+	if opts.PayloadSize == nil {
+		opts.PayloadSize = payloadSize
+	}
+	return &Session{
+		TAG:  t,
+		Opts: opts,
+		eng:  bsp.NewEngine(t.G, opts),
+	}
+}
+
+// partitionRelays returns one vertex per simulated machine (partition)
+// to act as the per-machine aggregation combiner; with a single partition
+// it returns nil and aggregation messages go straight to the global
+// aggregator vertex.
+func (e *Session) partitionRelays() []bsp.VertexID {
+	opts := e.Opts
+	if opts.Partitions <= 1 {
+		return nil
+	}
+	partOf := opts.PartitionOf
+	if partOf == nil {
+		p := opts.Partitions
+		partOf = func(v bsp.VertexID) int { return int(v) % p }
+	}
+	relays := make([]bsp.VertexID, opts.Partitions)
+	seen := 0
+	assigned := make([]bool, opts.Partitions)
+	for v := 0; v < e.TAG.G.NumVertices() && seen < opts.Partitions; v++ {
+		p := partOf(bsp.VertexID(v))
+		if p >= 0 && p < opts.Partitions && !assigned[p] {
+			assigned[p] = true
+			relays[p] = bsp.VertexID(v)
+			seen++
+		}
+	}
+	return relays
+}
+
+// Stats returns the accumulated BSP cost measures across this session's
+// queries.
+func (e *Session) Stats() bsp.Stats { return e.eng.Stats() }
+
+// ResetStats zeroes the accumulated cost measures.
+func (e *Session) ResetStats() { e.eng.ResetStats() }
+
+// Query parses, analyzes and executes a SQL string.
+func (e *Session) Query(query string) (*relation.Relation, error) {
+	an, err := sql.AnalyzeString(e.TAG.Catalog, query)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(an)
+}
+
+// Run executes an analyzed query. The Analysis may be shared across
+// sessions (prepared-statement style): execution never mutates it.
+func (e *Session) Run(an *sql.Analysis) (*relation.Relation, error) {
+	e.subCache = map[*sql.Select]*relation.Relation{}
+	e.corrCache = map[string]*relation.Relation{}
+	e.decorr = map[*sql.Select]*decorrTable{}
+	e.Info = ExecInfo{Acyclic: true}
+	return e.runChain(an, an.Root, nil)
+}
+
+func (e *Session) runChain(an *sql.Analysis, blk *sql.Analyzed, outer *sql.Env) (*relation.Relation, error) {
+	out, err := e.runBlock(an, blk, outer)
+	if err != nil {
+		return nil, err
+	}
+	for next := blk.UnionNext; next != nil; next = next.UnionNext {
+		arm, err := e.runBlock(an, next, outer)
+		if err != nil {
+			return nil, err
+		}
+		out.Tuples = append(out.Tuples, arm.Tuples...)
+	}
+	return out, nil
+}
+
+// subqueryFn evaluates nested blocks: uncorrelated blocks run once and
+// cache; correlated ones run per distinct correlation key (memoized),
+// each as its own TAG vertex program.
+func (e *Session) subqueryFn(an *sql.Analysis) sql.SubqueryFn {
+	return func(sub *sql.Select, env *sql.Env) (*relation.Relation, error) {
+		// Decorrelated subqueries answer from their prebuilt lookup table.
+		if dt := e.decorr[sub]; dt != nil {
+			return dt.lookup(env)
+		}
+		blk := an.Blocks[sub]
+		if blk == nil {
+			return nil, fmt.Errorf("core: unanalyzed subquery")
+		}
+		if !sql.BlockIsCorrelated(an, blk) {
+			if cached, ok := e.subCache[sub]; ok {
+				return cached, nil
+			}
+			out, err := e.runChain(an, blk, env)
+			if err != nil {
+				return nil, err
+			}
+			e.subCache[sub] = out
+			return out, nil
+		}
+		key := e.corrKey(an, blk, sub, env)
+		if cached, ok := e.corrCache[key]; ok {
+			return cached, nil
+		}
+		out, err := e.runChain(an, blk, env)
+		if err != nil {
+			return nil, err
+		}
+		e.corrCache[key] = out
+		return out, nil
+	}
+}
+
+// corrKey builds the memoization key of a correlated subquery: the values
+// of its outer references under env.
+func (e *Session) corrKey(an *sql.Analysis, blk *sql.Analyzed, sub *sql.Select, env *sql.Env) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%p", sub)
+	for _, ref := range sql.OuterRefs(an, blk) {
+		v, err := sql.Eval(&sql.ColRef{Alias: ref.Alias, Column: ref.Column, Table: ref.Table}, env, nil)
+		if err != nil {
+			v = relation.Null
+		}
+		b.WriteByte('\x1f')
+		k := v.Key()
+		b.WriteByte(byte(k.Kind) + '0')
+		b.WriteString(k.String())
+	}
+	return b.String()
+}
+
+// runBlock executes one SELECT block.
+func (e *Session) runBlock(an *sql.Analysis, blk *sql.Analyzed, outer *sql.Env) (*relation.Relation, error) {
+	c, err := e.compileBlock(an, blk)
+	if err != nil {
+		return nil, err
+	}
+	if c.agg > e.Info.Agg {
+		e.Info.Agg = c.agg
+	}
+
+	if c.hasOuter {
+		e.Info.Fallbacks++
+		return e.runOuterBlock(c, outer)
+	}
+
+	e.Info.Components += len(c.qp.Components)
+	if !c.qp.Acyclic {
+		e.Info.Acyclic = false
+	}
+
+	subq := e.subqueryFn(an)
+
+	// One TAG-join run per component, then Cartesian-combine (§6.3/§6.4).
+	var combined *table
+	j := newJoiner(c.classCols)
+	var singleRes *componentResult
+	for _, comp := range c.qp.Components {
+		e.Info.Cycles += len(comp.Cycles)
+		res, err := e.runComponent(c, comp, outer, subq)
+		if err != nil {
+			return nil, err
+		}
+		if len(c.qp.Components) == 1 {
+			singleRes = res
+			break
+		}
+		t := res.assemble(c)
+		if combined == nil {
+			combined = t
+		} else {
+			// Cartesian product of components: account the Algorithm B
+			// communication cost (|L|·|R| messages, §6.3).
+			e.eng.AddExternal(int64(len(combined.rows))*int64(len(t.rows)), int64(combined.size()))
+			combined = j.join(combined, t)
+		}
+	}
+
+	// Distributed finalization for single-component blocks whose residual
+	// predicates are vertex-safe; central finalization otherwise.
+	if singleRes != nil && c.residualVertexSafe() {
+		switch c.agg {
+		case AggLocal:
+			if _, ok := c.localAggKey(e.TAG); ok && !e.ForceGlobalAgg {
+				return e.finalizeLocal(c, singleRes, outer, subq)
+			}
+			return e.finalizeGlobal(c, singleRes, outer, subq)
+		case AggGlobal, AggScalar:
+			return e.finalizeGlobal(c, singleRes, outer, subq)
+		default:
+			return e.finalizeNone(c, singleRes, outer, subq)
+		}
+	}
+	if singleRes != nil {
+		combined = singleRes.assemble(c)
+	}
+	combined, err = e.applyResidualCentral(c, combined, outer, subq)
+	if err != nil {
+		return nil, err
+	}
+	return e.projectCentral(c, combined, outer, subq)
+}
+
+// applyResidualCentral filters an assembled table by the residual
+// predicates.
+func (e *Session) applyResidualCentral(c *compiled, t *table, outer *sql.Env, subq sql.SubqueryFn) (*table, error) {
+	if len(c.residual) == 0 || t == nil {
+		return t, nil
+	}
+	out := newTableShared(t.header, t.index)
+	env := &sql.Env{Binding: sql.Binding(t.index), Parent: outer}
+	for _, row := range t.rows {
+		env.Row = relation.Tuple(row)
+		keep := true
+		for _, p := range c.residual {
+			ok, err := p.eval(env, subq)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// projectCentral applies grouping, aggregation, HAVING, the SELECT list
+// and DISTINCT to an assembled table (used for multi-component blocks and
+// blocks with vertex-unsafe expressions).
+func (e *Session) projectCentral(c *compiled, t *table, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
+	if t == nil {
+		t = unitTable()
+		t.rows = nil
+	}
+	rows := make([]relation.Tuple, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = relation.Tuple(r)
+	}
+	return projectRows(c.blk, sql.Binding(t.index), rows, outer, subq)
+}

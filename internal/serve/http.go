@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/relation"
+)
+
+// QueryRequest is the /query request body (POST) — GET requests pass the
+// same field as the "sql" URL parameter instead.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+}
+
+// QueryResponse is the /query response body.
+type QueryResponse struct {
+	Columns  []string `json:"columns"`
+	Rows     [][]any  `json:"rows"`
+	RowCount int      `json:"row_count"`
+	Agg      string   `json:"agg_class"`
+	Acyclic  bool     `json:"acyclic"`
+	Prepared bool     `json:"prepared"`
+	Millis   float64  `json:"elapsed_ms"`
+	Messages int64    `json:"bsp_messages"`
+}
+
+// StatsResponse is the /stats response body.
+type StatsResponse struct {
+	Queries        int64   `json:"queries"`
+	Errors         int64   `json:"errors"`
+	InFlight       int64   `json:"in_flight"`
+	PreparedHits   int64   `json:"prepared_hits"`
+	PreparedMisses int64   `json:"prepared_misses"`
+	PreparedSize   int     `json:"prepared_size"`
+	AvgMillis      float64 `json:"avg_ms"`
+	MaxMillis      float64 `json:"max_ms"`
+	Supersteps     int     `json:"bsp_supersteps"`
+	Messages       int64   `json:"bsp_messages"`
+	MessageBytes   int64   `json:"bsp_message_bytes"`
+	ComputeOps     int64   `json:"bsp_compute_ops"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP API of a Server:
+//
+//	POST /query  {"sql": "..."}    → QueryResponse
+//	GET  /query?sql=...            → QueryResponse
+//	GET  /stats                    → StatsResponse
+//	GET  /healthz                  → 200 "ok"
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		query := r.URL.Query().Get("sql")
+		if r.Method == http.MethodPost {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+			var req QueryRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+				return
+			}
+			query = req.SQL
+		}
+		if query == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing sql"})
+			return
+		}
+		res, err := s.Query(query)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, toQueryResponse(res))
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		avg := 0.0
+		if st.Queries > 0 {
+			avg = ms(st.TotalTime) / float64(st.Queries)
+		}
+		writeJSON(w, http.StatusOK, StatsResponse{
+			Queries:        st.Queries,
+			Errors:         st.Errors,
+			InFlight:       st.InFlight,
+			PreparedHits:   st.PreparedHits,
+			PreparedMisses: st.PreparedMisses,
+			PreparedSize:   s.PreparedLen(),
+			AvgMillis:      avg,
+			MaxMillis:      ms(st.MaxTime),
+			Supersteps:     st.Cost.Supersteps,
+			Messages:       st.Cost.Messages,
+			MessageBytes:   st.Cost.MessageBytes,
+			ComputeOps:     st.Cost.ComputeOps,
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	})
+	return mux
+}
+
+func toQueryResponse(res *Result) QueryResponse {
+	out := QueryResponse{
+		Columns:  make([]string, 0, res.Rows.Schema.Len()),
+		Rows:     make([][]any, 0, len(res.Rows.Tuples)),
+		RowCount: res.Rows.Len(),
+		Agg:      res.Info.Agg.String(),
+		Acyclic:  res.Info.Acyclic,
+		Prepared: res.Prepared,
+		Millis:   ms(res.Elapsed),
+		Messages: res.Cost.Messages,
+	}
+	for _, c := range res.Rows.Schema.Columns {
+		out.Columns = append(out.Columns, c.Name)
+	}
+	for _, t := range res.Rows.Tuples {
+		row := make([]any, len(t))
+		for i, v := range t {
+			row[i] = jsonValue(v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// jsonValue maps a relation.Value to its natural JSON representation.
+func jsonValue(v relation.Value) any {
+	switch v.Kind {
+	case relation.KindNull:
+		return nil
+	case relation.KindInt:
+		return v.I
+	case relation.KindFloat:
+		return v.F
+	case relation.KindBool:
+		return v.I != 0
+	default: // strings and dates render as their stable string form
+		return v.String()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

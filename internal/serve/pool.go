@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/tag"
+)
+
+// Pool is a fixed-size pool of core.Sessions over one shared frozen TAG
+// graph. Sessions are created eagerly so the per-session engine
+// allocations (inbox arrays sized to the graph) happen once at startup,
+// not on the serving path.
+type Pool struct {
+	free chan *core.Session
+}
+
+// NewPool builds size sessions over g.
+func NewPool(g *tag.Graph, engine bsp.Options, size int) *Pool {
+	if size <= 0 {
+		size = 1
+	}
+	p := &Pool{free: make(chan *core.Session, size)}
+	for i := 0; i < size; i++ {
+		p.free <- core.NewSession(g, engine)
+	}
+	return p
+}
+
+// Acquire blocks until a session is free and returns it. The caller owns
+// the session exclusively until Release.
+func (p *Pool) Acquire() *core.Session {
+	return <-p.free
+}
+
+// TryAcquire returns a free session or nil without blocking.
+func (p *Pool) TryAcquire() *core.Session {
+	select {
+	case s := <-p.free:
+		return s
+	default:
+		return nil
+	}
+}
+
+// Release returns a session to the pool.
+func (p *Pool) Release(s *core.Session) {
+	p.free <- s
+}
+
+// Size returns the pool capacity.
+func (p *Pool) Size() int { return cap(p.free) }

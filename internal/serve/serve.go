@@ -1,0 +1,216 @@
+// Package serve is the concurrent query-serving layer over the TAG-join
+// executor. The TAG encoding is query-independent and read-mostly: one
+// frozen tag.Graph can answer any number of simultaneous read queries.
+// A Server wraps one graph with a pool of core.Sessions (each owning its
+// private BSP engine and per-query caches), a prepared-statement cache
+// keyed by the normalized SQL fingerprint, and aggregate serving
+// statistics.
+//
+// The graph must not be mutated while a Server is in use: run
+// InsertBatch/DeleteTuple maintenance only while no queries are in
+// flight.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/relation"
+	"repro/internal/sql"
+	"repro/internal/tag"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Sessions is the pool size — the maximum number of queries evaluated
+	// simultaneously; further queries queue. Defaults to 4.
+	Sessions int
+	// Engine configures each session's BSP engine. Workers defaults to 1:
+	// under concurrent serving, parallelism comes from running many
+	// queries at once rather than many workers per superstep.
+	Engine bsp.Options
+	// PreparedLimit bounds the prepared-statement cache (entries);
+	// defaults to 1024. The cache evicts wholesale when full (the
+	// workloads are small, fixed query sets; LRU bookkeeping would cost
+	// more than it saves).
+	PreparedLimit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sessions <= 0 {
+		o.Sessions = 4
+	}
+	if o.Engine.Workers == 0 {
+		o.Engine.Workers = 1
+	}
+	if o.PreparedLimit <= 0 {
+		o.PreparedLimit = 1024
+	}
+	return o
+}
+
+// Stats aggregates serving activity across all sessions of a Server.
+type Stats struct {
+	Queries        int64         // completed successfully
+	Errors         int64         // failed (parse, analyze, or execution)
+	InFlight       int64         // currently executing
+	PreparedHits   int64         // served from the prepared-statement cache
+	PreparedMisses int64         // analyzed afresh
+	TotalTime      time.Duration // summed wall time of successful queries
+	MaxTime        time.Duration // slowest successful query
+	Cost           bsp.Stats     // summed BSP cost measures of all queries
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	avg := time.Duration(0)
+	if s.Queries > 0 {
+		avg = s.TotalTime / time.Duration(s.Queries)
+	}
+	return fmt.Sprintf("queries=%d errors=%d inflight=%d prepared=%d/%d avg=%v max=%v [%s]",
+		s.Queries, s.Errors, s.InFlight, s.PreparedHits, s.PreparedHits+s.PreparedMisses,
+		avg.Round(time.Microsecond), s.MaxTime.Round(time.Microsecond), s.Cost)
+}
+
+// Result is one query's answer plus its per-query execution report.
+type Result struct {
+	Rows     *relation.Relation
+	Info     core.ExecInfo
+	Cost     bsp.Stats // this query's BSP cost only
+	Elapsed  time.Duration
+	Prepared bool // answered via a prepared-statement cache hit
+}
+
+// Server serves concurrent queries over one frozen TAG graph.
+type Server struct {
+	graph *tag.Graph
+	pool  *Pool
+
+	mu       sync.RWMutex // guards prepared
+	prepared map[string]*sql.Analysis
+	limit    int
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// New builds a Server over g. The graph must already be frozen (tag.Build
+// leaves it frozen) and must not be mutated while the server is in use.
+func New(g *tag.Graph, opts Options) *Server {
+	opts = opts.withDefaults()
+	if !g.G.Frozen() {
+		g.G.Freeze()
+	}
+	return &Server{
+		graph:    g,
+		pool:     NewPool(g, opts.Engine, opts.Sessions),
+		prepared: make(map[string]*sql.Analysis),
+		limit:    opts.PreparedLimit,
+	}
+}
+
+// Graph returns the served TAG graph.
+func (s *Server) Graph() *tag.Graph { return s.graph }
+
+// Prepare analyzes a query, consulting the fingerprint-keyed cache. It
+// returns the shared Analysis (execution is read-only on it) and whether
+// it was a cache hit.
+func (s *Server) Prepare(query string) (*sql.Analysis, bool, error) {
+	fp, err := sql.Fingerprint(query)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.RLock()
+	an, ok := s.prepared[fp]
+	s.mu.RUnlock()
+	if ok {
+		return an, true, nil
+	}
+	an, err = sql.AnalyzeString(s.graph.Catalog, query)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	if cached, ok := s.prepared[fp]; ok {
+		an = cached // another goroutine analyzed it first; share theirs
+	} else {
+		if len(s.prepared) >= s.limit {
+			s.prepared = make(map[string]*sql.Analysis)
+		}
+		s.prepared[fp] = an
+	}
+	s.mu.Unlock()
+	return an, false, nil
+}
+
+// Query evaluates a SQL string on a pooled session, blocking until a
+// session is free. Safe for arbitrary concurrent use.
+func (s *Server) Query(query string) (*Result, error) {
+	an, hit, err := s.Prepare(query)
+	s.statsMu.Lock()
+	if err != nil {
+		s.stats.Errors++
+		s.stats.PreparedMisses++
+		s.statsMu.Unlock()
+		return nil, err
+	}
+	if hit {
+		s.stats.PreparedHits++
+	} else {
+		s.stats.PreparedMisses++
+	}
+	s.stats.InFlight++
+	s.statsMu.Unlock()
+
+	sess := s.pool.Acquire()
+	start := time.Now()
+	before := sess.Stats()
+	rows, err := sess.Run(an)
+	after := sess.Stats()
+	elapsed := time.Since(start)
+	res := &Result{Rows: rows, Info: sess.Info, Elapsed: elapsed, Prepared: hit,
+		Cost: after.Sub(before)}
+	s.pool.Release(sess)
+
+	s.statsMu.Lock()
+	s.stats.InFlight--
+	if err != nil {
+		s.stats.Errors++
+	} else {
+		s.stats.Queries++
+		s.stats.TotalTime += elapsed
+		if elapsed > s.stats.MaxTime {
+			s.stats.MaxTime = elapsed
+		}
+		s.stats.Cost.Add(res.Cost)
+	}
+	s.statsMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stats returns a snapshot of the aggregate serving statistics.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the aggregate serving statistics.
+func (s *Server) ResetStats() {
+	s.statsMu.Lock()
+	s.stats = Stats{InFlight: s.stats.InFlight}
+	s.statsMu.Unlock()
+}
+
+// PreparedLen returns the number of cached prepared statements.
+func (s *Server) PreparedLen() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.prepared)
+}

@@ -1,0 +1,107 @@
+package tag
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestInsertBatchMatchesSingles: a batch insert must leave the graph in
+// exactly the state that repeated single-row inserts produce, with one
+// Thaw/Freeze instead of one per row.
+func TestInsertBatchMatchesSingles(t *testing.T) {
+	rows := []relation.Tuple{
+		{relation.Int(200), relation.Int(10), relation.DateOf(2021, 3, 4)},
+		{relation.Int(201), relation.Int(2), relation.DateOf(2021, 3, 5)},
+		{relation.Int(202), relation.Int(10), relation.DateOf(2021, 3, 4)}, // shares attrs
+	}
+
+	single, err := Build(figure1Catalog(), MaterializeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if _, err := single.InsertTuple("orders", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	batch, err := Build(figure1Catalog(), MaterializeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := batch.InsertBatch("orders", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != len(rows) {
+		t.Fatalf("got %d vertex ids, want %d", len(vs), len(rows))
+	}
+	if !batch.G.Frozen() {
+		t.Error("graph must be re-frozen after InsertBatch")
+	}
+
+	if single.G.NumVertices() != batch.G.NumVertices() {
+		t.Errorf("vertices: singles=%d batch=%d", single.G.NumVertices(), batch.G.NumVertices())
+	}
+	if single.G.NumEdges() != batch.G.NumEdges() {
+		t.Errorf("edges: singles=%d batch=%d", single.G.NumEdges(), batch.G.NumEdges())
+	}
+	if got, want := len(batch.TupleVertices("orders")), len(single.TupleVertices("orders")); got != want {
+		t.Errorf("orders tuple vertices: batch=%d singles=%d", got, want)
+	}
+	if got, want := batch.Catalog.Get("orders").Len(), single.Catalog.Get("orders").Len(); got != want {
+		t.Errorf("catalog rows: batch=%d singles=%d", got, want)
+	}
+}
+
+func TestInsertBatchValidatesBeforeMutating(t *testing.T) {
+	g, err := Build(figure1Catalog(), MaterializeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, ne := g.G.NumVertices(), g.G.NumEdges()
+	_, err = g.InsertBatch("orders", []relation.Tuple{
+		{relation.Int(300), relation.Int(10), relation.DateOf(2021, 1, 1)},
+		{relation.Int(301)}, // bad arity
+	})
+	if err == nil {
+		t.Fatal("bad arity must fail")
+	}
+	if g.G.NumVertices() != nv || g.G.NumEdges() != ne {
+		t.Error("failed batch must not mutate the graph")
+	}
+	if _, err := g.InsertBatch("nosuch", nil); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if vs, err := g.InsertBatch("orders", nil); err != nil || vs != nil {
+		t.Errorf("empty batch = (%v, %v), want (nil, nil)", vs, err)
+	}
+}
+
+func TestDeleteBatch(t *testing.T) {
+	g, err := Build(figure1Catalog(), MaterializeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders := g.TupleVertices("orders")
+	if len(orders) != 2 {
+		t.Fatalf("expected 2 order vertices, got %d", len(orders))
+	}
+	if err := g.DeleteBatch(orders); err != nil {
+		t.Fatal(err)
+	}
+	if !g.G.Frozen() {
+		t.Error("graph must be re-frozen after DeleteBatch")
+	}
+	if len(g.TupleVertices("orders")) != 0 {
+		t.Error("all order vertices should be gone")
+	}
+	if g.Catalog.Get("orders").Len() != 0 {
+		t.Error("catalog rows should be gone")
+	}
+	// Re-deleting fails upfront and leaves the graph untouched.
+	if err := g.DeleteBatch(orders[:1]); err == nil {
+		t.Error("double delete must fail")
+	}
+}

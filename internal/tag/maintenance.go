@@ -13,32 +13,68 @@ import (
 // vertex plus edges to (possibly new) attribute vertices. Per §3, no
 // reorganization of the graph is required — the insert is local.
 func (t *Graph) InsertTuple(table string, row relation.Tuple) (bsp.VertexID, error) {
+	vs, err := t.InsertBatch(table, []relation.Tuple{row})
+	if err != nil {
+		return 0, err
+	}
+	return vs[0], nil
+}
+
+// InsertBatch adds many tuples of one relation with a single Thaw/Freeze
+// cycle, so the adjacency lists are re-sorted once per batch instead of
+// once per row. This is the amortized maintenance path for bulk loads
+// and write bursts between serving windows.
+func (t *Graph) InsertBatch(table string, rows []relation.Tuple) ([]bsp.VertexID, error) {
 	table = strings.ToLower(table)
 	vLbl, ok := t.tupleLabel[table]
 	if !ok {
-		return 0, fmt.Errorf("tag: unknown relation %q", table)
+		return nil, fmt.Errorf("tag: unknown relation %q", table)
 	}
 	rel := t.Catalog.Get(table)
-	if rel == nil || len(row) != rel.Schema.Len() {
-		return 0, fmt.Errorf("tag: bad arity for %q", table)
+	if rel == nil {
+		return nil, fmt.Errorf("tag: unknown relation %q", table)
+	}
+	for _, row := range rows {
+		if len(row) != rel.Schema.Len() {
+			return nil, fmt.Errorf("tag: bad arity for %q", table)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+
+	// The per-column edge labels and materialization choices are invariant
+	// across the batch; resolve them once, not once per row.
+	type colInfo struct {
+		idx int
+		lbl bsp.LabelID
+	}
+	var cols []colInfo
+	for i, col := range rel.Schema.Columns {
+		key := table + "." + strings.ToLower(col.Name)
+		if t.materialized[key] {
+			cols = append(cols, colInfo{idx: i, lbl: t.edgeLabel[key]})
+		}
 	}
 
 	t.G.Thaw()
-	tv := t.G.AddVertex(vLbl, &TupleData{Table: table, Row: row})
-	t.tupleVerts[table] = append(t.tupleVerts[table], tv)
-	for i, col := range rel.Schema.Columns {
-		key := table + "." + strings.ToLower(col.Name)
-		if !t.materialized[key] || row[i].IsNull() {
-			continue
+	out := make([]bsp.VertexID, 0, len(rows))
+	for _, row := range rows {
+		tv := t.G.AddVertex(vLbl, &TupleData{Table: table, Row: row})
+		t.tupleVerts[table] = append(t.tupleVerts[table], tv)
+		for _, c := range cols {
+			if row[c.idx].IsNull() {
+				continue
+			}
+			av := t.attrVertexForIncremental(row[c.idx])
+			t.G.AddUndirectedEdge(tv, av, c.lbl)
+			t.addAttrByEdge(c.lbl, av)
 		}
-		lbl := t.edgeLabel[key]
-		av := t.attrVertexForIncremental(row[i])
-		t.G.AddUndirectedEdge(tv, av, lbl)
-		t.addAttrByEdge(lbl, av)
+		rel.Tuples = append(rel.Tuples, row)
+		out = append(out, tv)
 	}
 	t.G.Freeze()
-	rel.Tuples = append(rel.Tuples, row)
-	return tv, nil
+	return out, nil
 }
 
 // attrVertexForIncremental is attrVertexFor usable after Build (the
@@ -76,46 +112,69 @@ func (t *Graph) addAttrByEdge(lbl bsp.LabelID, av bsp.VertexID) {
 // place even if orphaned (they are harmless: with no edges they never join
 // anything). Again a purely local operation.
 func (t *Graph) DeleteTuple(v bsp.VertexID) error {
-	d := t.TupleData(v)
-	if d == nil {
-		return fmt.Errorf("tag: vertex %d is not a tuple vertex", v)
+	return t.DeleteBatch([]bsp.VertexID{v})
+}
+
+// DeleteBatch removes many tuple vertices with a single Thaw/Freeze
+// cycle (the batched counterpart of DeleteTuple). The whole batch is
+// validated before any mutation, so on error the graph is unchanged.
+func (t *Graph) DeleteBatch(vs []bsp.VertexID) error {
+	for _, v := range vs {
+		d := t.TupleData(v)
+		if d == nil {
+			return fmt.Errorf("tag: vertex %d is not a tuple vertex", v)
+		}
+		if d.Dead {
+			return fmt.Errorf("tag: vertex %d already deleted", v)
+		}
 	}
-	if d.Dead {
-		return fmt.Errorf("tag: vertex %d already deleted", v)
+	seen := make(map[bsp.VertexID]bool, len(vs))
+	for _, v := range vs {
+		if seen[v] {
+			return fmt.Errorf("tag: vertex %d appears twice in batch", v)
+		}
+		seen[v] = true
 	}
-	rel := t.Catalog.Get(d.Table)
+	if len(vs) == 0 {
+		return nil
+	}
+
 	t.G.Thaw()
-	for i, col := range rel.Schema.Columns {
-		key := d.Table + "." + strings.ToLower(col.Name)
-		if !t.materialized[key] || d.Row[i].IsNull() {
-			continue
+	for _, v := range vs {
+		d := t.TupleData(v)
+		rel := t.Catalog.Get(d.Table)
+		for i, col := range rel.Schema.Columns {
+			key := d.Table + "." + strings.ToLower(col.Name)
+			if !t.materialized[key] || d.Row[i].IsNull() {
+				continue
+			}
+			av, ok := t.attrVertex[d.Row[i].Key()]
+			if !ok {
+				continue
+			}
+			lbl := t.edgeLabel[key]
+			t.G.RemoveEdge(v, av, lbl)
+			t.G.RemoveEdge(av, v, lbl)
 		}
-		av, ok := t.attrVertex[d.Row[i].Key()]
-		if !ok {
-			continue
+		d.Dead = true
+
+		// Drop the vertex from the per-relation list and the row from the
+		// catalog copy (first matching row; duplicates are interchangeable).
+		verts := t.tupleVerts[d.Table]
+		for i, tv := range verts {
+			if tv == v {
+				t.tupleVerts[d.Table] = append(verts[:i:i], verts[i+1:]...)
+				break
+			}
 		}
-		lbl := t.edgeLabel[key]
-		t.G.RemoveEdge(v, av, lbl)
-		t.G.RemoveEdge(av, v, lbl)
+		for i, row := range rel.Tuples {
+			if tuplesEqual(row, d.Row) {
+				rel.Tuples = append(rel.Tuples[:i:i], rel.Tuples[i+1:]...)
+				break
+			}
+		}
 	}
 	t.G.Freeze()
-	d.Dead = true
-
-	// Drop the vertex from the per-relation list and the row from the
-	// catalog copy (first matching row; duplicates are interchangeable).
-	verts := t.tupleVerts[d.Table]
-	for i, tv := range verts {
-		if tv == v {
-			t.tupleVerts[d.Table] = append(verts[:i:i], verts[i+1:]...)
-			break
-		}
-	}
-	for i, row := range rel.Tuples {
-		if tuplesEqual(row, d.Row) {
-			rel.Tuples = append(rel.Tuples[:i:i], rel.Tuples[i+1:]...)
-			break
-		}
-	}
 	return nil
 }
 
