@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConcurrencyThroughput checks the PR's serving acceptance bar: at 4
+// concurrent clients, the pooled serving layer must deliver at least 2x
+// the aggregate QPS of serialized single-session execution in the seed's
+// rebuild-per-query pattern, and must not fall behind a reused
+// serialized session (its floor even on one core, where extra clients
+// add no CPU).
+func TestConcurrencyThroughput(t *testing.T) {
+	cfg := Config{Scales: []float64{0.1}}
+	results, err := Concurrency(cfg, "tpch", []int{1, 4}, 250*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		for _, mode := range ConcurrencyModes {
+			if r.Queries[mode] == 0 {
+				t.Errorf("%d clients: mode %s completed no queries", r.Clients, mode)
+			}
+		}
+	}
+	at4 := results[1]
+	if at4.Clients != 4 {
+		t.Fatalf("second row clients = %d", at4.Clients)
+	}
+	if s := at4.Speedup("rebuild"); s < 2 {
+		t.Errorf("pooled vs rebuild-per-query at 4 clients = %.2fx, want >= 2x", s)
+	}
+	if s := at4.Speedup("serial"); s < 0.7 {
+		t.Errorf("pooled vs serialized session at 4 clients = %.2fx; pooling must not cost throughput", s)
+	}
+
+	var buf bytes.Buffer
+	PrintConcurrency(&buf, "tpch", results)
+	out := buf.String()
+	for _, want := range []string{"clients", "pooled", "rebuild", "vs_serial"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
