@@ -11,6 +11,9 @@
 //	serve       concurrent-serving throughput (QPS at 1/4/16 clients:
 //	            session pool vs serialized single session vs per-query
 //	            graph rebuild)
+//	maintain    serve-while-write: reader QPS under a continuous stream
+//	            of insert batches, graph generations (clone + atomic
+//	            swap) vs the stop-the-world quiescence baseline
 //	all         everything above
 package main
 
@@ -26,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: load|tpch|tpcds|memory|distributed|ablation|serve|all")
+	exp := flag.String("exp", "all", "experiment: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
@@ -63,6 +66,20 @@ func main() {
 	run("distributed", func() error { return runDistributed(cfg) })
 	run("ablation", func() error { return runAblation(cfg) })
 	run("serve", func() error { return runServe(cfg) })
+	run("maintain", func() error { return runMaintain(cfg) })
+}
+
+func runMaintain(cfg bench.Config) error {
+	for _, workload := range []string{"tpch", "tpcds"} {
+		results, err := bench.Maintain(cfg, workload, 8, 200, time.Second)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			bench.PrintMaintain(cfg.Out, res)
+		}
+	}
+	return nil
 }
 
 func runServe(cfg bench.Config) error {

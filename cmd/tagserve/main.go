@@ -1,12 +1,17 @@
 // Command tagserve is the concurrent HTTP query server over the TAG-join
 // executor: it loads a generated TPC-H-like or TPC-DS-like database,
 // encodes it once into a frozen TAG graph, and serves SQL over a session
-// pool with a prepared-statement cache.
+// pool with a prepared-statement cache. Writes are accepted while
+// serving: each /write batch is applied to a copy-on-write clone of the
+// graph and published as the next epoch with an atomic swap, so queries
+// are never blocked and never see a half-applied batch.
 //
 // Endpoints:
 //
 //	POST /query  {"sql": "SELECT ..."}   rows + per-query execution report
 //	GET  /query?sql=...                  same, for quick curl use
+//	POST /write  {"table": ..., "insert": [[...]], "delete": [ids]}
+//	                                     apply a batch, publish a new epoch
 //	GET  /stats                          aggregate serving statistics
 //	GET  /healthz                        liveness probe
 //
@@ -14,6 +19,7 @@
 //
 //	tagserve -db tpch -scale 0.5 -sessions 8 -addr :8080 &
 //	curl -s localhost:8080/query --data '{"sql": "SELECT COUNT(*) FROM orders"}'
+//	curl -s localhost:8080/write --data '{"table": "nation", "insert": [[25, "ATLANTIS", 1, "n/a"]]}'
 //	curl -s localhost:8080/stats
 package main
 
@@ -37,8 +43,10 @@ func main() {
 	scale := flag.Float64("scale", 1, "scale factor")
 	seed := flag.Int64("seed", 2021, "generator seed")
 	addr := flag.String("addr", ":8080", "listen address")
-	sessions := flag.Int("sessions", 4, "session pool size (max simultaneous queries)")
+	sessions := flag.Int("sessions", 4, "session pool size per graph generation (max simultaneous queries on one epoch; during a write burst, in-flight totals can transiently reach live_generations x this)")
 	workers := flag.Int("workers", 1, "BSP workers per session")
+	readonly := flag.Bool("readonly", false, "disable the /write endpoint")
+	prepared := flag.Int("prepared", 1024, "prepared-statement cache entries (LRU)")
 	flag.Parse()
 
 	var cat *relation.Catalog
@@ -59,13 +67,20 @@ func main() {
 		os.Exit(1)
 	}
 	srv := serve.New(g, serve.Options{
-		Sessions: *sessions,
-		Engine:   bsp.Options{Workers: *workers},
+		Sessions:      *sessions,
+		Engine:        bsp.Options{Workers: *workers},
+		PreparedLimit: *prepared,
 	})
-	fmt.Printf("tagserve: %s at scale %g encoded in %v (%s); %d sessions on %s\n",
-		*workload, *scale, time.Since(start).Round(time.Millisecond), g.G.String(), *sessions, *addr)
+	mode := "serve-while-write (/write enabled)"
+	handler := serve.Handler(srv)
+	if *readonly {
+		mode = "read-only"
+		handler = serve.ReadOnlyHandler(srv)
+	}
+	fmt.Printf("tagserve: %s at scale %g encoded in %v (%s); %d sessions, %s, on %s\n",
+		*workload, *scale, time.Since(start).Round(time.Millisecond), g.G.String(), *sessions, mode, *addr)
 
-	if err := http.ListenAndServe(*addr, serve.Handler(srv)); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

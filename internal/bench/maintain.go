@@ -1,0 +1,337 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/relation"
+	"repro/internal/serve"
+	"repro/internal/tag"
+)
+
+// Maintenance schemes compared by the serve-while-write benchmark:
+//
+//	generations  the epoch/swap scheme: a Maintainer clones the graph
+//	             copy-on-write, applies each batch off to the side, and
+//	             publishes it with an atomic pointer swap; readers are
+//	             never blocked
+//	lockstep     the PR-1 contract ("run maintenance only while no
+//	             queries are in flight") taken once per batch: the writer
+//	             quiesces (write-locks) the single shared graph, applies
+//	             one batch in place, and reopens. Readers are admitted in
+//	             the gaps between batches, so they limp along instead of
+//	             starving — but every batch stalls the whole serving
+//	             plane for its duration.
+//	stopworld    the same contract held for the duration of the
+//	             ingestion stream: exclusive access from the first batch
+//	             to the last. Under a continuous write stream there is
+//	             never an idle moment to reopen in, so readers serve
+//	             zero queries for the whole window — the failure mode
+//	             the generation scheme removes.
+var MaintainModes = []string{"generations", "lockstep", "stopworld"}
+
+// MaintainResult is the outcome of one serve-while-write measurement.
+type MaintainResult struct {
+	Workload  string
+	Scale     float64
+	Readers   int
+	BatchRows int
+	Window    time.Duration
+
+	ReaderQPS  map[string]float64 // mode -> reader queries/second
+	ReaderN    map[string]int64   // mode -> reader queries completed
+	Batches    map[string]int64   // mode -> write batches applied
+	RowsPerSec map[string]float64 // mode -> rows ingested/second
+	WriteMS    map[string]float64 // mode -> mean per-batch apply time (ms)
+	Epoch      map[string]uint64  // mode -> final epoch (generations only)
+}
+
+// maintainTable picks the ingestion target: the workload's fact table,
+// so writes collide with what the reader queries scan.
+var maintainTable = map[string]string{"tpch": "orders", "tpcds": "store_sales"}
+
+// synthRows derives an insert batch from existing rows of rel, giving
+// each row a fresh key in column 0 when it is an integer column (so the
+// attribute fan-in stays realistic instead of piling every insert onto
+// one value vertex).
+func synthRows(rel *relation.Relation, n int, nextKey *int64) []relation.Tuple {
+	out := make([]relation.Tuple, n)
+	for i := range out {
+		row := rel.Tuples[i%len(rel.Tuples)].Clone()
+		if len(row) > 0 && row[0].Kind == relation.KindInt {
+			row[0] = relation.Int(*nextKey)
+			*nextKey++
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Maintain measures reader throughput while a writer applies insert
+// batches continuously for the whole window, under each maintenance
+// scheme, at every configured scale. Each (scale, scheme) cell gets a
+// freshly built graph from the same catalog seed, `readers` closed-loop
+// query clients, and one writer issuing `batchRows`-row batches back to
+// back.
+func Maintain(cfg Config, workload string, readers, batchRows int, window time.Duration) ([]MaintainResult, error) {
+	cfg = cfg.withDefaults()
+	if window <= 0 {
+		window = 500 * time.Millisecond
+	}
+	if readers <= 0 {
+		readers = 8
+	}
+	if batchRows <= 0 {
+		batchRows = 200
+	}
+	table := maintainTable[workload]
+	if table == "" {
+		return nil, fmt.Errorf("bench: no maintain table for workload %q", workload)
+	}
+
+	ids := concurrencyQueries[workload]
+	var queries []string
+	for _, q := range WorkloadQueries(workload) {
+		for _, id := range ids {
+			if q.ID == id {
+				queries = append(queries, q.SQL)
+			}
+		}
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("bench: no maintain queries for workload %q", workload)
+	}
+
+	var out []MaintainResult
+	for _, scale := range cfg.Scales {
+		res := MaintainResult{
+			Workload: workload, Scale: scale, Readers: readers, BatchRows: batchRows, Window: window,
+			ReaderQPS: map[string]float64{}, ReaderN: map[string]int64{},
+			Batches: map[string]int64{}, RowsPerSec: map[string]float64{},
+			WriteMS: map[string]float64{}, Epoch: map[string]uint64{},
+		}
+		for _, mode := range MaintainModes {
+			cat := generate(workload, scale, cfg.Seed)
+			g, err := tag.Build(cat, nil)
+			if err != nil {
+				return out, err
+			}
+			if err := runMaintainMode(&res, mode, g, table, queries, readers, batchRows, window); err != nil {
+				return out, fmt.Errorf("bench: %s at scale %g: %w", mode, scale, err)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runMaintainMode(res *MaintainResult, mode string, g *tag.Graph, table string,
+	queries []string, readers, batchRows int, window time.Duration) error {
+	var (
+		batches       int64
+		writeTotal    time.Duration
+		writerElapsed time.Duration
+		writeErr      error
+		stop          = make(chan struct{})
+		writerDone    = make(chan struct{})
+		nextKey       = int64(1) << 40
+	)
+	rel := g.Catalog.Get(table)
+	if rel == nil || rel.Len() == 0 {
+		return fmt.Errorf("no rows in table %q", table)
+	}
+	// Snapshot templates before any writer mutates the catalog.
+	templates := &relation.Relation{Name: rel.Name, Schema: rel.Schema,
+		Tuples: append([]relation.Tuple(nil), rel.Tuples[:min(len(rel.Tuples), 4*batchRows)]...)}
+
+	var run func(sql string) error
+	switch mode {
+	case "generations":
+		srv := serve.New(g, serve.Options{Sessions: readers})
+		maint := srv.Maintainer()
+		go func() {
+			defer close(writerDone)
+			writerStart := time.Now()
+			defer func() { writerElapsed = time.Since(writerStart) }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows := synthRows(templates, batchRows, &nextKey)
+				start := time.Now()
+				if _, err := maint.InsertBatch(table, rows); err != nil {
+					writeErr = err
+					return
+				}
+				writeTotal += time.Since(start)
+				batches++
+			}
+		}()
+		run = func(sql string) error {
+			_, err := srv.Query(sql)
+			return err
+		}
+		defer func() { res.Epoch[mode] = srv.Generation().Epoch }()
+	case "lockstep", "stopworld":
+		var mu sync.RWMutex
+		pool := serve.NewPool(g, bsp.Options{Workers: 1}, readers)
+		perBatch := mode == "lockstep"
+		go func() {
+			defer close(writerDone)
+			writerStart := time.Now()
+			defer func() { writerElapsed = time.Since(writerStart) }()
+			if !perBatch {
+				// Quiesce once for the whole ingestion stream: the PR-1
+				// contract forbids queries in flight during maintenance, and
+				// a continuous stream has no idle moment to reopen in.
+				mu.Lock()
+				defer mu.Unlock()
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows := synthRows(templates, batchRows, &nextKey)
+				start := time.Now()
+				if perBatch {
+					mu.Lock()
+				}
+				_, err := g.InsertBatch(table, rows)
+				if perBatch {
+					mu.Unlock()
+				}
+				if err != nil {
+					writeErr = err
+					return
+				}
+				writeTotal += time.Since(start)
+				batches++
+			}
+		}()
+		run = func(sql string) error {
+			mu.RLock()
+			defer mu.RUnlock()
+			sess := pool.Acquire()
+			defer pool.Release(sess)
+			_, err := sess.Query(sql)
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown maintain mode %q", mode)
+	}
+
+	// Stop the writer at the same deadline the readers are measured to,
+	// not after closedLoopUntil's reader-abandonment grace period — the
+	// stop-the-world mode always burns that full grace (its readers are
+	// parked on the writer's lock), which would otherwise inflate the
+	// writer's measured window ~3x.
+	timer := time.AfterFunc(window, func() { close(stop) })
+	defer timer.Stop()
+	count, elapsed, readersDone, err := closedLoopUntil(readers, window, queries, run)
+	<-writerDone
+	// Now that the writer has released any lock it held, abandoned
+	// readers finish their one in-flight query and exit; wait for them so
+	// they cannot burn CPU inside the next (scale, mode) cell's window.
+	<-readersDone
+	if err != nil {
+		return err
+	}
+	if writeErr != nil {
+		return writeErr
+	}
+	res.ReaderN[mode] = count
+	res.ReaderQPS[mode] = float64(count) / elapsed.Seconds()
+	res.Batches[mode] = batches
+	if writerElapsed > 0 {
+		res.RowsPerSec[mode] = float64(batches*int64(batchRows)) / writerElapsed.Seconds()
+	}
+	if batches > 0 {
+		res.WriteMS[mode] = float64(writeTotal.Microseconds()) / 1e3 / float64(batches)
+	}
+	return nil
+}
+
+// closedLoopUntil is closedLoop, except (a) only queries completing
+// before the deadline are counted, and (b) reader goroutines that would
+// block forever on a starved lock are abandoned at the deadline rather
+// than awaited: the stop-the-world baseline intentionally never lets
+// them in, so joining them here would deadlock the benchmark. The
+// returned channel closes when the last reader actually exits; the
+// caller waits on it after unblocking them (by stopping the writer) so
+// stragglers cannot contaminate a later measurement.
+func closedLoopUntil(n int, window time.Duration, queries []string, run func(string) error) (int64, time.Duration, <-chan struct{}, error) {
+	var (
+		mu      sync.Mutex
+		count   int64
+		stopped bool
+		firstEr error
+	)
+	start := time.Now()
+	done := make(chan struct{})
+	var live sync.WaitGroup
+	for c := 0; c < n; c++ {
+		live.Add(1)
+		go func(c int) {
+			defer live.Done()
+			for i := c; ; i++ {
+				mu.Lock()
+				s := stopped
+				mu.Unlock()
+				if s {
+					return
+				}
+				err := run(queries[i%len(queries)])
+				mu.Lock()
+				if err != nil {
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+				if !stopped {
+					count++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	go func() {
+		live.Wait()
+		close(done)
+	}()
+	time.Sleep(window)
+	mu.Lock()
+	stopped = true
+	elapsed := time.Since(start)
+	mu.Unlock()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		// Readers still parked on the writer's lock; count what finished.
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return count, elapsed, done, firstEr
+}
+
+// PrintMaintain renders the serve-while-write comparison.
+func PrintMaintain(w io.Writer, r MaintainResult) {
+	fmt.Fprintf(w, "\nServe-while-write — %s SF %g, %d readers, continuous %d-row insert batches, %v window\n",
+		r.Workload, r.Scale, r.Readers, r.BatchRows, r.Window)
+	fmt.Fprintf(w, "(generations = clone/apply/swap per batch; lockstep = PR-1 quiescence per batch; stopworld = quiescence held for the ingestion stream)\n")
+	fmt.Fprintf(w, "%-12s %12s %10s %12s %14s %8s\n",
+		"mode", "reader_qps", "batches", "rows_per_s", "avg_write_ms", "epochs")
+	for _, mode := range MaintainModes {
+		fmt.Fprintf(w, "%-12s %12.1f %10d %12.0f %14.2f %8d\n",
+			mode, r.ReaderQPS[mode], r.Batches[mode], r.RowsPerSec[mode],
+			r.WriteMS[mode], r.Epoch[mode])
+	}
+}

@@ -133,8 +133,10 @@ type outMsg struct {
 // Any number of Engines may run concurrently over the same *frozen*
 // Graph, each serving one in-flight query — that is how internal/serve's
 // session pool shares one TAG encoding across simultaneous queries. The
-// graph must not be thawed (incremental maintenance) while any engine on
-// it is running.
+// graph value an engine runs over must not be thawed while any engine
+// on it is running; to maintain a graph that is being served, mutate a
+// copy-on-write Clone off to the side and point new engines at the
+// clone (the generation scheme in internal/serve).
 type Engine struct {
 	g    *Graph
 	opts Options

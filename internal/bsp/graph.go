@@ -30,17 +30,73 @@ type vertex struct {
 // Build with AddVertex/AddEdge, then call Freeze before running programs.
 // Once frozen, the structure is immutable and safe for any number of
 // concurrent readers (engines); Thaw/mutate/Freeze cycles require
-// exclusive access — no engine may be running during maintenance.
+// exclusive access — no engine may be running on *this* graph value
+// during maintenance. Clone produces a copy-on-write snapshot that may
+// be thawed and mutated while readers keep using the original, which is
+// how the serving layer builds its next graph generation off to the
+// side.
 type Graph struct {
 	Symbols  *SymbolTable
 	vertices []vertex
 	frozen   bool
 	numEdges int
+
+	// Copy-on-write state. A graph returned by Clone shares the edge
+	// slices of vertices below cowLimit with its parent until they are
+	// first mutated; owned records which of those have been privatized.
+	cowLimit int
+	owned    map[VertexID]bool
+
+	// dirty tracks vertices whose adjacency changed since the last
+	// Freeze, so an incremental-maintenance re-Freeze re-indexes only the
+	// touched vertices. nil means tracking is off (initial build) and
+	// Freeze indexes everything.
+	dirty map[VertexID]bool
 }
 
 // NewGraph returns an empty graph with a fresh symbol table.
 func NewGraph() *Graph {
 	return &Graph{Symbols: NewSymbolTable()}
+}
+
+// Clone returns a copy-on-write snapshot of a frozen graph. The clone
+// shares per-vertex edge storage (and the symbol table, which is
+// internally synchronized) with the receiver; any vertex the clone
+// mutates is privatized first, so readers of the original never observe
+// a write. The original must stay frozen for as long as the clone is
+// alive — the intended discipline is that the original is an immutable
+// published generation and the clone is its in-progress successor.
+func (g *Graph) Clone() *Graph {
+	if !g.frozen {
+		panic("bsp: Clone of unfrozen graph")
+	}
+	return &Graph{
+		Symbols:  g.Symbols,
+		vertices: append([]vertex(nil), g.vertices...),
+		frozen:   true,
+		numEdges: g.numEdges,
+		cowLimit: len(g.vertices),
+		owned:    make(map[VertexID]bool),
+		dirty:    make(map[VertexID]bool),
+	}
+}
+
+// own privatizes a possibly-shared vertex's slices before mutation.
+func (g *Graph) own(v VertexID) {
+	if g.owned == nil || int(v) >= g.cowLimit || g.owned[v] {
+		return
+	}
+	vx := &g.vertices[v]
+	vx.edges = append([]Edge(nil), vx.edges...)
+	vx.labelStart = append([]int32(nil), vx.labelStart...)
+	vx.labelIDs = append([]LabelID(nil), vx.labelIDs...)
+	g.owned[v] = true
+}
+
+func (g *Graph) markDirty(v VertexID) {
+	if g.dirty != nil {
+		g.dirty[v] = true
+	}
 }
 
 // AddVertex creates a vertex with the given label id and payload.
@@ -49,7 +105,9 @@ func (g *Graph) AddVertex(label LabelID, data any) VertexID {
 		panic("bsp: AddVertex after Freeze")
 	}
 	g.vertices = append(g.vertices, vertex{label: label, data: data})
-	return VertexID(len(g.vertices) - 1)
+	id := VertexID(len(g.vertices) - 1)
+	g.markDirty(id)
+	return id
 }
 
 // AddEdge adds a directed labeled edge.
@@ -57,6 +115,8 @@ func (g *Graph) AddEdge(from, to VertexID, label LabelID) {
 	if g.frozen {
 		panic("bsp: AddEdge after Freeze")
 	}
+	g.own(from)
+	g.markDirty(from)
 	v := &g.vertices[from]
 	v.edges = append(v.edges, Edge{Label: label, To: to})
 	g.numEdges++
@@ -74,6 +134,8 @@ func (g *Graph) RemoveEdge(from, to VertexID, label LabelID) {
 	if g.frozen {
 		panic("bsp: RemoveEdge after Freeze")
 	}
+	g.own(from)
+	g.markDirty(from)
 	v := &g.vertices[from]
 	kept := v.edges[:0]
 	for _, e := range v.edges {
@@ -88,26 +150,41 @@ func (g *Graph) RemoveEdge(from, to VertexID, label LabelID) {
 
 // Freeze sorts adjacency lists by label and builds the per-label index.
 // The graph is immutable afterwards (vertex payloads may still change).
+// The first Freeze indexes every vertex; afterwards dirty-vertex
+// tracking is enabled, so incremental Thaw/mutate/Freeze cycles
+// re-index only the vertices whose adjacency actually changed.
 func (g *Graph) Freeze() {
-	for i := range g.vertices {
-		v := &g.vertices[i]
-		sort.Slice(v.edges, func(a, b int) bool {
-			if v.edges[a].Label != v.edges[b].Label {
-				return v.edges[a].Label < v.edges[b].Label
-			}
-			return v.edges[a].To < v.edges[b].To
-		})
-		v.labelIDs = v.labelIDs[:0]
-		v.labelStart = v.labelStart[:0]
-		for j, e := range v.edges {
-			if j == 0 || e.Label != v.edges[j-1].Label {
-				v.labelIDs = append(v.labelIDs, e.Label)
-				v.labelStart = append(v.labelStart, int32(j))
-			}
+	if g.dirty == nil {
+		for i := range g.vertices {
+			g.freezeVertex(&g.vertices[i])
 		}
-		v.labelStart = append(v.labelStart, int32(len(v.edges)))
+		g.dirty = make(map[VertexID]bool)
+	} else {
+		for v := range g.dirty {
+			g.own(v) // sort mutates in place; never touch a shared slice
+			g.freezeVertex(&g.vertices[v])
+			delete(g.dirty, v)
+		}
 	}
 	g.frozen = true
+}
+
+func (g *Graph) freezeVertex(v *vertex) {
+	sort.Slice(v.edges, func(a, b int) bool {
+		if v.edges[a].Label != v.edges[b].Label {
+			return v.edges[a].Label < v.edges[b].Label
+		}
+		return v.edges[a].To < v.edges[b].To
+	})
+	v.labelIDs = v.labelIDs[:0]
+	v.labelStart = v.labelStart[:0]
+	for j, e := range v.edges {
+		if j == 0 || e.Label != v.edges[j-1].Label {
+			v.labelIDs = append(v.labelIDs, e.Label)
+			v.labelStart = append(v.labelStart, int32(j))
+		}
+	}
+	v.labelStart = append(v.labelStart, int32(len(v.edges)))
 }
 
 // Thaw re-enables mutation (incremental maintenance); Freeze must be

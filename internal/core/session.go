@@ -15,10 +15,15 @@ import (
 // subquery memoization caches, the decorrelation tables, and a snapshot
 // of the ablation knobs. A Session runs one query at a time, but any
 // number of Sessions may evaluate concurrently over the same tag.Graph
-// as long as the graph is frozen and not being mutated (no
-// InsertTuple/DeleteTuple/Thaw while queries are in flight) — the TAG
-// encoding is query-independent, so serving N queries means N Sessions
-// over one graph.
+// — the TAG encoding is query-independent, so serving N queries means N
+// Sessions over one graph.
+//
+// A Session is pinned to the graph it was created on, which must stay
+// frozen and unmutated for the Session's lifetime. Incremental
+// maintenance therefore never touches a graph with live Sessions:
+// internal/serve clones the graph copy-on-write, applies the batch to
+// the clone, publishes it as a new generation with fresh Sessions, and
+// lets the old generation's Sessions drain.
 type Session struct {
 	TAG  *tag.Graph
 	Opts bsp.Options

@@ -5,6 +5,14 @@
 // programs, handles cyclic fragments with the heavy/light strategy,
 // Cartesian products, outer joins, subqueries, and the three aggregation
 // classes (local, global, scalar).
+//
+// Per-query state lives on a Session; any number of Sessions evaluate
+// concurrently over one frozen, immutable tag.Graph. A Session is bound
+// for life to the graph generation it was created on: under the serving
+// layer's generation scheme, incremental maintenance never mutates a
+// served graph — it publishes a clone as a new generation with fresh
+// sessions and drains the old. Executor remains as a single-session
+// convenience wrapper for benchmarks, tests, and tagsql.
 package core
 
 import (

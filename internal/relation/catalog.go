@@ -47,6 +47,30 @@ func (c *Catalog) MustAdd(r *Relation) {
 	}
 }
 
+// Clone returns a snapshot of the catalog that can be mutated (tuples
+// appended or removed) without affecting the receiver. Relation structs
+// are copied; schemas, key metadata, and the tuples themselves are
+// shared, since they are immutable after construction. Tuple slices are
+// shared copy-on-append: incremental maintenance only ever appends past
+// the snapshot's length or reallocates, never writes in place.
+func (c *Catalog) Clone() *Catalog {
+	nc := &Catalog{
+		relations: make(map[string]*Relation, len(c.relations)),
+		order:     c.order,
+		primary:   c.primary,
+		foreign:   c.foreign,
+	}
+	for k, r := range c.relations {
+		nr := *r
+		// Cap the tuple slice at its current length so a later append in
+		// one clone cannot write into backing memory that a sibling clone
+		// of the same snapshot has already claimed.
+		nr.Tuples = nr.Tuples[:len(nr.Tuples):len(nr.Tuples)]
+		nc.relations[k] = &nr
+	}
+	return nc
+}
+
 // Get returns the named relation, or nil.
 func (c *Catalog) Get(name string) *Relation {
 	return c.relations[strings.ToLower(name)]

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tag"
+)
+
+// Generation is one immutable, servable snapshot of the TAG graph: a
+// frozen tag.Graph, the session pool bound to it, and an epoch number
+// that increases by one per published write batch.
+//
+// Lifecycle: a generation is created frozen, published by an atomic
+// pointer swap on the Server, pinned by every query that starts while it
+// is current (refcount), and drained once the swap has removed it from
+// the serving path and the last pinned query has finished. The publisher
+// itself holds one reference from creation to swap-out, so a current
+// generation can never drain.
+type Generation struct {
+	Epoch uint64
+	Graph *tag.Graph
+
+	pool *Pool
+
+	refs      atomic.Int64
+	drained   chan struct{}
+	drainOnce sync.Once
+	onDrained func()
+}
+
+// newGeneration builds a generation over a frozen graph, eagerly
+// allocating its session pool (so the O(|V|) per-session engine setup
+// happens on the maintenance path, not the serving path). The returned
+// generation carries the publisher's reference.
+func newGeneration(epoch uint64, g *tag.Graph, opts Options, onDrained func()) *Generation {
+	if !g.G.Frozen() {
+		g.G.Freeze()
+	}
+	gen := &Generation{
+		Epoch:     epoch,
+		Graph:     g,
+		pool:      NewPool(g, opts.Engine, opts.Sessions),
+		drained:   make(chan struct{}),
+		onDrained: onDrained,
+	}
+	gen.refs.Store(1)
+	return gen
+}
+
+// acquire pins the generation for one in-flight query.
+func (g *Generation) acquire() { g.refs.Add(1) }
+
+// release unpins the generation. When the last reference (including the
+// publisher's, dropped at swap-out) is gone the generation is drained:
+// its Drained channel closes and the drain hook fires exactly once.
+func (g *Generation) release() {
+	if g.refs.Add(-1) == 0 {
+		g.drainOnce.Do(func() {
+			close(g.drained)
+			if g.onDrained != nil {
+				g.onDrained()
+			}
+		})
+	}
+}
+
+// Refs returns the current pin count (the publisher's reference counts
+// as one while the generation is current). For observability and tests.
+func (g *Generation) Refs() int64 { return g.refs.Load() }
+
+// Drained returns a channel that closes once the generation has been
+// swapped out and every query pinned to it has finished. After that no
+// reader can observe the generation's graph, so its memory is
+// reclaimable.
+func (g *Generation) Drained() <-chan struct{} { return g.drained }

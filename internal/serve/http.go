@@ -2,10 +2,13 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"time"
 
+	"repro/internal/bsp"
 	"repro/internal/relation"
 )
 
@@ -23,24 +26,51 @@ type QueryResponse struct {
 	Agg      string   `json:"agg_class"`
 	Acyclic  bool     `json:"acyclic"`
 	Prepared bool     `json:"prepared"`
+	Epoch    uint64   `json:"epoch"`
 	Millis   float64  `json:"elapsed_ms"`
 	Messages int64    `json:"bsp_messages"`
 }
 
+// WriteRequest is the /write request body: deletes (by tuple-vertex id,
+// applied first) and/or rows to insert into one table, published
+// atomically as a single new graph generation. Insert cells follow the
+// table schema: numbers for INT/FLOAT columns, strings for STRING
+// columns, "YYYY-MM-DD" strings (or day numbers) for DATE columns,
+// booleans for BOOL columns, null for NULL.
+type WriteRequest struct {
+	Table  string  `json:"table,omitempty"`
+	Insert [][]any `json:"insert,omitempty"`
+	Delete []int64 `json:"delete,omitempty"`
+}
+
+// WriteResponse is the /write response body. Inserted holds the
+// tuple-vertex ids assigned to the new rows, usable in later deletes.
+type WriteResponse struct {
+	Epoch    uint64  `json:"epoch"`
+	Inserted []int64 `json:"inserted,omitempty"`
+	Deleted  int     `json:"deleted"`
+	Millis   float64 `json:"elapsed_ms"`
+}
+
 // StatsResponse is the /stats response body.
 type StatsResponse struct {
-	Queries        int64   `json:"queries"`
-	Errors         int64   `json:"errors"`
-	InFlight       int64   `json:"in_flight"`
-	PreparedHits   int64   `json:"prepared_hits"`
-	PreparedMisses int64   `json:"prepared_misses"`
-	PreparedSize   int     `json:"prepared_size"`
-	AvgMillis      float64 `json:"avg_ms"`
-	MaxMillis      float64 `json:"max_ms"`
-	Supersteps     int     `json:"bsp_supersteps"`
-	Messages       int64   `json:"bsp_messages"`
-	MessageBytes   int64   `json:"bsp_message_bytes"`
-	ComputeOps     int64   `json:"bsp_compute_ops"`
+	Queries         int64   `json:"queries"`
+	Errors          int64   `json:"errors"`
+	InFlight        int64   `json:"in_flight"`
+	PreparedHits    int64   `json:"prepared_hits"`
+	PreparedMisses  int64   `json:"prepared_misses"`
+	PreparedSize    int     `json:"prepared_size"`
+	AvgMillis       float64 `json:"avg_ms"`
+	MaxMillis       float64 `json:"max_ms"`
+	Epoch           uint64  `json:"epoch"`
+	Swaps           int64   `json:"swaps"`
+	GenerationsLive int64   `json:"generations_live"`
+	RowsInserted    int64   `json:"rows_inserted"`
+	RowsDeleted     int64   `json:"rows_deleted"`
+	Supersteps      int     `json:"bsp_supersteps"`
+	Messages        int64   `json:"bsp_messages"`
+	MessageBytes    int64   `json:"bsp_message_bytes"`
+	ComputeOps      int64   `json:"bsp_compute_ops"`
 }
 
 type errorResponse struct {
@@ -51,10 +81,53 @@ type errorResponse struct {
 //
 //	POST /query  {"sql": "..."}    → QueryResponse
 //	GET  /query?sql=...            → QueryResponse
+//	POST /write  WriteRequest      → WriteResponse (serve-while-write)
 //	GET  /stats                    → StatsResponse
 //	GET  /healthz                  → 200 "ok"
-func Handler(s *Server) http.Handler {
+func Handler(s *Server) http.Handler { return handler(s, false) }
+
+// ReadOnlyHandler is Handler without the /write endpoint (it answers
+// 403), for deployments that ingest through a separate process.
+func ReadOnlyHandler(s *Server) http.Handler { return handler(s, true) }
+
+func handler(s *Server, readOnly bool) http.Handler {
 	mux := http.NewServeMux()
+	maint := s.Maintainer()
+	mux.HandleFunc("/write", func(w http.ResponseWriter, r *http.Request) {
+		if readOnly {
+			writeJSON(w, http.StatusForbidden, errorResponse{Error: "server is read-only"})
+			return
+		}
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		var req WriteRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+			return
+		}
+		op, err := decodeWrite(s, req)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+			return
+		}
+		res, err := maint.Apply(op)
+		if err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+			return
+		}
+		out := WriteResponse{Epoch: res.Epoch, Deleted: res.Deleted, Millis: ms(res.Elapsed)}
+		for _, id := range res.Inserted {
+			out.Inserted = append(out.Inserted, int64(id))
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		query := r.URL.Query().Get("sql")
 		if r.Method == http.MethodPost {
@@ -88,18 +161,23 @@ func Handler(s *Server) http.Handler {
 			avg = ms(st.TotalTime) / float64(st.Queries)
 		}
 		writeJSON(w, http.StatusOK, StatsResponse{
-			Queries:        st.Queries,
-			Errors:         st.Errors,
-			InFlight:       st.InFlight,
-			PreparedHits:   st.PreparedHits,
-			PreparedMisses: st.PreparedMisses,
-			PreparedSize:   s.PreparedLen(),
-			AvgMillis:      avg,
-			MaxMillis:      ms(st.MaxTime),
-			Supersteps:     st.Cost.Supersteps,
-			Messages:       st.Cost.Messages,
-			MessageBytes:   st.Cost.MessageBytes,
-			ComputeOps:     st.Cost.ComputeOps,
+			Queries:         st.Queries,
+			Errors:          st.Errors,
+			InFlight:        st.InFlight,
+			PreparedHits:    st.PreparedHits,
+			PreparedMisses:  st.PreparedMisses,
+			PreparedSize:    s.PreparedLen(),
+			AvgMillis:       avg,
+			MaxMillis:       ms(st.MaxTime),
+			Epoch:           st.Epoch,
+			Swaps:           st.Swaps,
+			GenerationsLive: st.GenerationsLive,
+			RowsInserted:    st.RowsInserted,
+			RowsDeleted:     st.RowsDeleted,
+			Supersteps:      st.Cost.Supersteps,
+			Messages:        st.Cost.Messages,
+			MessageBytes:    st.Cost.MessageBytes,
+			ComputeOps:      st.Cost.ComputeOps,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -117,6 +195,7 @@ func toQueryResponse(res *Result) QueryResponse {
 		Agg:      res.Info.Agg.String(),
 		Acyclic:  res.Info.Acyclic,
 		Prepared: res.Prepared,
+		Epoch:    res.Epoch,
 		Millis:   ms(res.Elapsed),
 		Messages: res.Cost.Messages,
 	}
@@ -131,6 +210,91 @@ func toQueryResponse(res *Result) QueryResponse {
 		out.Rows = append(out.Rows, row)
 	}
 	return out
+}
+
+// decodeWrite converts a WriteRequest to a Maintainer op, decoding
+// insert rows against the target table's schema (schemas are immutable
+// across generations, so the current head's catalog is authoritative).
+func decodeWrite(s *Server, req WriteRequest) (WriteOp, error) {
+	op := WriteOp{Table: req.Table}
+	for _, id := range req.Delete {
+		// Guard the int64 → int32 narrowing: a wrapped id could alias a
+		// live vertex and silently delete the wrong row.
+		if id < 0 || id > math.MaxInt32 {
+			return op, fmt.Errorf("serve: no vertex %d", id)
+		}
+		op.Delete = append(op.Delete, bsp.VertexID(id))
+	}
+	if len(req.Insert) == 0 {
+		return op, nil
+	}
+	if req.Table == "" {
+		return op, fmt.Errorf("serve: insert without a table")
+	}
+	rel := s.Graph().Catalog.Get(req.Table)
+	if rel == nil {
+		return op, fmt.Errorf("serve: unknown table %q", req.Table)
+	}
+	for i, raw := range req.Insert {
+		row, err := decodeRow(rel.Schema, raw)
+		if err != nil {
+			return op, fmt.Errorf("row %d: %w", i, err)
+		}
+		op.Insert = append(op.Insert, row)
+	}
+	return op, nil
+}
+
+// decodeRow maps JSON cells to typed values per the schema.
+func decodeRow(schema *relation.Schema, raw []any) (relation.Tuple, error) {
+	if len(raw) != schema.Len() {
+		return nil, fmt.Errorf("arity %d != schema arity %d", len(raw), schema.Len())
+	}
+	row := make(relation.Tuple, len(raw))
+	for i, cell := range raw {
+		col := schema.Columns[i]
+		switch cell := cell.(type) {
+		case nil:
+			row[i] = relation.Null
+		case float64:
+			switch col.Kind {
+			case relation.KindInt, relation.KindDate:
+				if cell != math.Trunc(cell) || math.Abs(cell) > 1<<53 {
+					return nil, fmt.Errorf("column %s: %v is not an exact integer", col.Name, cell)
+				}
+				if col.Kind == relation.KindInt {
+					row[i] = relation.Int(int64(cell))
+				} else {
+					row[i] = relation.Date(int64(cell))
+				}
+			case relation.KindFloat:
+				row[i] = relation.Float(cell)
+			default:
+				return nil, fmt.Errorf("column %s: number for %s column", col.Name, col.Kind)
+			}
+		case string:
+			switch col.Kind {
+			case relation.KindString:
+				row[i] = relation.Str(cell)
+			case relation.KindDate:
+				v, err := relation.ParseDate(cell)
+				if err != nil {
+					return nil, fmt.Errorf("column %s: %w", col.Name, err)
+				}
+				row[i] = v
+			default:
+				return nil, fmt.Errorf("column %s: string for %s column", col.Name, col.Kind)
+			}
+		case bool:
+			if col.Kind != relation.KindBool {
+				return nil, fmt.Errorf("column %s: bool for %s column", col.Name, col.Kind)
+			}
+			row[i] = relation.Bool(cell)
+		default:
+			return nil, fmt.Errorf("column %s: unsupported JSON value %T", col.Name, cell)
+		}
+	}
+	return row, nil
 }
 
 // jsonValue maps a relation.Value to its natural JSON representation.

@@ -1,19 +1,27 @@
 // Package serve is the concurrent query-serving layer over the TAG-join
 // executor. The TAG encoding is query-independent and read-mostly: one
 // frozen tag.Graph can answer any number of simultaneous read queries.
-// A Server wraps one graph with a pool of core.Sessions (each owning its
-// private BSP engine and per-query caches), a prepared-statement cache
-// keyed by the normalized SQL fingerprint, and aggregate serving
+// A Server wraps the graph with a pool of core.Sessions (each owning its
+// private BSP engine and per-query caches), an LRU prepared-statement
+// cache keyed by the normalized SQL fingerprint, and aggregate serving
 // statistics.
 //
-// The graph must not be mutated while a Server is in use: run
-// InsertBatch/DeleteTuple maintenance only while no queries are in
-// flight.
+// Writes no longer require quiescence. The Server serves from an
+// epoch-numbered Generation (frozen graph + session pool) behind an
+// atomic pointer; a Maintainer applies InsertBatch/DeleteBatch to a
+// private copy-on-write clone of the current graph and publishes the
+// result as the next generation with a single pointer swap. Queries pin
+// the generation they started on and drain it when they finish, so
+// readers always see a consistent snapshot — never a graph mid-mutation
+// — while writes land continuously. See docs/ARCHITECTURE.md for the
+// full swap protocol.
 package serve
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bsp"
@@ -25,17 +33,21 @@ import (
 
 // Options configures a Server.
 type Options struct {
-	// Sessions is the pool size — the maximum number of queries evaluated
-	// simultaneously; further queries queue. Defaults to 4.
+	// Sessions is the pool size of each graph generation — the maximum
+	// number of queries evaluated simultaneously on one epoch; further
+	// queries on that epoch queue. Because generations drain
+	// asynchronously, total in-flight queries (and session memory) can
+	// transiently reach GenerationsLive x Sessions during write bursts.
+	// Defaults to 4.
 	Sessions int
 	// Engine configures each session's BSP engine. Workers defaults to 1:
 	// under concurrent serving, parallelism comes from running many
 	// queries at once rather than many workers per superstep.
 	Engine bsp.Options
 	// PreparedLimit bounds the prepared-statement cache (entries);
-	// defaults to 1024. The cache evicts wholesale when full (the
-	// workloads are small, fixed query sets; LRU bookkeeping would cost
-	// more than it saves).
+	// defaults to 1024. The cache evicts the least-recently-used entry
+	// once full, so a hot working set of statements survives bursts of
+	// one-off queries.
 	PreparedLimit int
 }
 
@@ -62,6 +74,13 @@ type Stats struct {
 	TotalTime      time.Duration // summed wall time of successful queries
 	MaxTime        time.Duration // slowest successful query
 	Cost           bsp.Stats     // summed BSP cost measures of all queries
+
+	// Write/maintenance activity (the generation scheme).
+	Epoch           uint64 // epoch of the currently served generation (filled at snapshot time)
+	Swaps           int64  // generations published since startup
+	RowsInserted    int64  // rows applied through the Maintainer
+	RowsDeleted     int64  // rows removed through the Maintainer
+	GenerationsLive int64  // published but not yet drained generations
 }
 
 // String renders the stats compactly.
@@ -70,9 +89,10 @@ func (s Stats) String() string {
 	if s.Queries > 0 {
 		avg = s.TotalTime / time.Duration(s.Queries)
 	}
-	return fmt.Sprintf("queries=%d errors=%d inflight=%d prepared=%d/%d avg=%v max=%v [%s]",
+	return fmt.Sprintf("queries=%d errors=%d inflight=%d prepared=%d/%d avg=%v max=%v epoch=%d swaps=%d live=%d [%s]",
 		s.Queries, s.Errors, s.InFlight, s.PreparedHits, s.PreparedHits+s.PreparedMisses,
-		avg.Round(time.Microsecond), s.MaxTime.Round(time.Microsecond), s.Cost)
+		avg.Round(time.Microsecond), s.MaxTime.Round(time.Microsecond),
+		s.Epoch, s.Swaps, s.GenerationsLive, s.Cost)
 }
 
 // Result is one query's answer plus its per-query execution report.
@@ -81,73 +101,114 @@ type Result struct {
 	Info     core.ExecInfo
 	Cost     bsp.Stats // this query's BSP cost only
 	Elapsed  time.Duration
-	Prepared bool // answered via a prepared-statement cache hit
+	Prepared bool   // answered via a prepared-statement cache hit
+	Epoch    uint64 // generation the query was answered on
 }
 
-// Server serves concurrent queries over one frozen TAG graph.
+// Server serves concurrent queries over epoch'd TAG graph generations.
 type Server struct {
-	graph *tag.Graph
-	pool  *Pool
+	opts Options
+	gen  atomic.Pointer[Generation]
+	live atomic.Int64 // published, not-yet-drained generations
 
-	mu       sync.RWMutex // guards prepared
-	prepared map[string]*sql.Analysis
-	limit    int
+	// writeMu serializes writers: one clone/apply/publish at a time, so
+	// generations form a chain and no write is lost to a racing sibling
+	// clone. Readers never take it.
+	writeMu sync.Mutex
+
+	prepared preparedCache
 
 	statsMu sync.Mutex
 	stats   Stats
 }
 
-// New builds a Server over g. The graph must already be frozen (tag.Build
-// leaves it frozen) and must not be mutated while the server is in use.
+// New builds a Server over g, publishing it as generation 0. The graph
+// must already be frozen (tag.Build leaves it frozen). After New, the
+// graph belongs to the serving layer: mutate it only through a
+// Maintainer, which clones rather than touching the served snapshot.
 func New(g *tag.Graph, opts Options) *Server {
 	opts = opts.withDefaults()
 	if !g.G.Frozen() {
 		g.G.Freeze()
 	}
-	return &Server{
-		graph:    g,
-		pool:     NewPool(g, opts.Engine, opts.Sessions),
-		prepared: make(map[string]*sql.Analysis),
-		limit:    opts.PreparedLimit,
+	s := &Server{opts: opts}
+	s.prepared.init(opts.PreparedLimit)
+	s.live.Store(1)
+	s.gen.Store(newGeneration(0, g, opts, func() { s.live.Add(-1) }))
+	return s
+}
+
+// Graph returns the currently served TAG graph (the head generation's).
+func (s *Server) Graph() *tag.Graph { return s.gen.Load().Graph }
+
+// Generation returns the currently served generation. The caller must
+// not mutate it; to keep it alive across its own queries, use Query,
+// which pins per call.
+func (s *Server) Generation() *Generation { return s.gen.Load() }
+
+// Maintainer returns a write handle for this server. All handles share
+// the server's writer lock, so any number of them serialize correctly.
+func (s *Server) Maintainer() *Maintainer { return &Maintainer{s: s} }
+
+// acquireGen pins and returns the current generation. The retry loop
+// closes the load/pin race: if a swap lands between the pointer load and
+// the refcount increment, the pin may have hit an already-drained
+// generation, so it is dropped and the new head pinned instead.
+func (s *Server) acquireGen() *Generation {
+	for {
+		gen := s.gen.Load()
+		gen.acquire()
+		if s.gen.Load() == gen {
+			return gen
+		}
+		gen.release()
 	}
 }
 
-// Graph returns the served TAG graph.
-func (s *Server) Graph() *tag.Graph { return s.graph }
+// publish installs g as the next generation. Must be called with writeMu
+// held (Maintainer does); the epoch is derived from the head at swap
+// time, which the lock keeps stable.
+func (s *Server) publish(g *tag.Graph, inserted, deleted int) *Generation {
+	old := s.gen.Load()
+	gen := newGeneration(old.Epoch+1, g, s.opts, func() { s.live.Add(-1) })
+	s.live.Add(1)
+	s.gen.Store(gen)
+	old.release() // drop the publisher's reference; old drains when its readers finish
 
-// Prepare analyzes a query, consulting the fingerprint-keyed cache. It
-// returns the shared Analysis (execution is read-only on it) and whether
-// it was a cache hit.
+	s.statsMu.Lock()
+	s.stats.Swaps++
+	s.stats.RowsInserted += int64(inserted)
+	s.stats.RowsDeleted += int64(deleted)
+	s.statsMu.Unlock()
+	return gen
+}
+
+// Prepare analyzes a query, consulting the fingerprint-keyed LRU cache.
+// It returns the shared Analysis (execution is read-only on it) and
+// whether it was a cache hit. Prepared statements stay valid across
+// generation swaps: schemas are immutable, and execution resolves rows
+// through the session's own generation, not the Analysis.
 func (s *Server) Prepare(query string) (*sql.Analysis, bool, error) {
 	fp, err := sql.Fingerprint(query)
 	if err != nil {
 		return nil, false, err
 	}
-	s.mu.RLock()
-	an, ok := s.prepared[fp]
-	s.mu.RUnlock()
-	if ok {
+	if an, ok := s.prepared.get(fp); ok {
 		return an, true, nil
 	}
-	an, err = sql.AnalyzeString(s.graph.Catalog, query)
+	an, err := sql.AnalyzeString(s.gen.Load().Graph.Catalog, query)
 	if err != nil {
 		return nil, false, err
 	}
-	s.mu.Lock()
-	if cached, ok := s.prepared[fp]; ok {
-		an = cached // another goroutine analyzed it first; share theirs
-	} else {
-		if len(s.prepared) >= s.limit {
-			s.prepared = make(map[string]*sql.Analysis)
-		}
-		s.prepared[fp] = an
-	}
-	s.mu.Unlock()
-	return an, false, nil
+	// On a race, adopt whichever Analysis reached the cache first.
+	return s.prepared.put(fp, an), false, nil
 }
 
-// Query evaluates a SQL string on a pooled session, blocking until a
-// session is free. Safe for arbitrary concurrent use.
+// Query evaluates a SQL string on a pooled session of the current
+// generation, blocking until a session is free. Safe for arbitrary
+// concurrent use, including concurrently with Maintainer writes: the
+// generation is pinned for the duration of the query, so a swap landing
+// mid-flight never changes what this query sees.
 func (s *Server) Query(query string) (*Result, error) {
 	an, hit, err := s.Prepare(query)
 	s.statsMu.Lock()
@@ -165,15 +226,19 @@ func (s *Server) Query(query string) (*Result, error) {
 	s.stats.InFlight++
 	s.statsMu.Unlock()
 
-	sess := s.pool.Acquire()
+	// Unpin via defer so a panicking query (recovered by net/http) cannot
+	// leak the generation pin or the pool slot.
+	gen := s.acquireGen()
+	defer gen.release()
+	sess := gen.pool.Acquire()
+	defer gen.pool.Release(sess)
 	start := time.Now()
 	before := sess.Stats()
 	rows, err := sess.Run(an)
 	after := sess.Stats()
 	elapsed := time.Since(start)
 	res := &Result{Rows: rows, Info: sess.Info, Elapsed: elapsed, Prepared: hit,
-		Cost: after.Sub(before)}
-	s.pool.Release(sess)
+		Cost: after.Sub(before), Epoch: gen.Epoch}
 
 	s.statsMu.Lock()
 	s.stats.InFlight--
@@ -198,7 +263,10 @@ func (s *Server) Query(query string) (*Result, error) {
 func (s *Server) Stats() Stats {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Epoch = s.gen.Load().Epoch
+	st.GenerationsLive = s.live.Load()
+	return st
 }
 
 // ResetStats zeroes the aggregate serving statistics.
@@ -209,8 +277,64 @@ func (s *Server) ResetStats() {
 }
 
 // PreparedLen returns the number of cached prepared statements.
-func (s *Server) PreparedLen() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.prepared)
+func (s *Server) PreparedLen() int { return s.prepared.len() }
+
+// preparedCache is a mutex-guarded LRU of analyzed statements keyed by
+// SQL fingerprint.
+type preparedCache struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type preparedEntry struct {
+	fp string
+	an *sql.Analysis
+}
+
+func (c *preparedCache) init(limit int) {
+	c.limit = limit
+	c.entries = make(map[string]*list.Element)
+	c.order = list.New()
+}
+
+func (c *preparedCache) get(fp string) (*sql.Analysis, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[fp]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*preparedEntry).an, true
+}
+
+// put inserts an analysis unless the fingerprint is already cached, in
+// which case the cached value wins (concurrent first preparations race
+// to the lock; the loser adopts the winner's Analysis). Returns the
+// authoritative Analysis either way.
+func (c *preparedCache) put(fp string, an *sql.Analysis) *sql.Analysis {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[fp]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*preparedEntry).an
+	}
+	for len(c.entries) >= c.limit {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*preparedEntry).fp)
+	}
+	c.entries[fp] = c.order.PushFront(&preparedEntry{fp: fp, an: an})
+	return an
+}
+
+func (c *preparedCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }

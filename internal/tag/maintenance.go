@@ -21,9 +21,12 @@ func (t *Graph) InsertTuple(table string, row relation.Tuple) (bsp.VertexID, err
 }
 
 // InsertBatch adds many tuples of one relation with a single Thaw/Freeze
-// cycle, so the adjacency lists are re-sorted once per batch instead of
-// once per row. This is the amortized maintenance path for bulk loads
-// and write bursts between serving windows.
+// cycle, so the adjacency lists are re-indexed once per batch instead of
+// once per row (and, after the first freeze, only for the vertices the
+// batch touched). This is the amortized maintenance path for bulk loads
+// and for serve-while-write: the serving layer calls it on a
+// copy-on-write Clone of the served graph and atomically publishes the
+// result as the next generation.
 func (t *Graph) InsertBatch(table string, rows []relation.Tuple) ([]bsp.VertexID, error) {
 	table = strings.ToLower(table)
 	vLbl, ok := t.tupleLabel[table]
@@ -120,6 +123,9 @@ func (t *Graph) DeleteTuple(v bsp.VertexID) error {
 // validated before any mutation, so on error the graph is unchanged.
 func (t *Graph) DeleteBatch(vs []bsp.VertexID) error {
 	for _, v := range vs {
+		if v < 0 || int(v) >= t.G.NumVertices() {
+			return fmt.Errorf("tag: no vertex %d", v)
+		}
 		d := t.TupleData(v)
 		if d == nil {
 			return fmt.Errorf("tag: vertex %d is not a tuple vertex", v)
@@ -156,7 +162,12 @@ func (t *Graph) DeleteBatch(vs []bsp.VertexID) error {
 			t.G.RemoveEdge(v, av, lbl)
 			t.G.RemoveEdge(av, v, lbl)
 		}
-		d.Dead = true
+		// Replace the payload instead of mutating it in place: the same
+		// TupleData may still be read by an older graph generation this
+		// graph was cloned from.
+		nd := *d
+		nd.Dead = true
+		t.G.SetData(v, &nd)
 
 		// Drop the vertex from the per-relation list and the row from the
 		// catalog copy (first matching row; duplicates are interchangeable).
