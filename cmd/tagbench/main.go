@@ -14,10 +14,19 @@
 //	maintain    serve-while-write: reader QPS under a continuous stream
 //	            of insert batches, graph generations (clone + atomic
 //	            swap) vs the stop-the-world quiescence baseline
+//	engine      the BSP message plane: superstep throughput and
+//	            per-session inbox memory, sharded parallel merge vs the
+//	            serial merge, at 1/4/16 workers
 //	all         everything above
+//
+// Flags -json <path> writes the structured results of the experiments
+// that ran (QPS, supersteps, bytes, ns/op) as a machine-readable
+// BENCH_*.json file; -quick shrinks scales, runs and measurement
+// windows so a CI smoke pass finishes in seconds.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +38,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|all")
+	exp := flag.String("exp", "all", "experiment: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
 	machines := flag.Int("machines", 6, "simulated cluster size")
 	seed := flag.Int64("seed", 2021, "generator seed")
+	jsonPath := flag.String("json", "", "write machine-readable results (BENCH_*.json) to this path")
+	quick := flag.Bool("quick", false, "smoke mode: one small scale, one run, short windows")
 	flag.Parse()
 
 	var scales []float64
@@ -46,8 +57,16 @@ func main() {
 		}
 		scales = append(scales, f)
 	}
+	if *quick {
+		scales = []float64{0.1}
+		*runs = 1
+	}
 	cfg := bench.Config{Scales: scales, Seed: *seed, Workers: *workers,
 		Runs: *runs, Machines: *machines, Out: os.Stdout}
+
+	// report collects the structured results of whatever ran, keyed by
+	// experiment name, for -json.
+	report := map[string]any{}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -59,41 +78,93 @@ func main() {
 		}
 	}
 
-	run("load", func() error { return runLoad(cfg) })
-	run("tpch", func() error { return runWorkload(cfg, "tpch") })
-	run("tpcds", func() error { return runWorkload(cfg, "tpcds") })
-	run("memory", func() error { return runMemory(cfg) })
-	run("distributed", func() error { return runDistributed(cfg) })
-	run("ablation", func() error { return runAblation(cfg) })
-	run("serve", func() error { return runServe(cfg) })
-	run("maintain", func() error { return runMaintain(cfg) })
+	run("load", func() error { return runLoad(cfg, report) })
+	run("tpch", func() error { return runWorkload(cfg, "tpch", report) })
+	run("tpcds", func() error { return runWorkload(cfg, "tpcds", report) })
+	run("memory", func() error { return runMemory(cfg, report) })
+	run("distributed", func() error { return runDistributed(cfg, report) })
+	run("ablation", func() error { return runAblation(cfg, report) })
+	run("serve", func() error { return runServe(cfg, *quick, report) })
+	run("maintain", func() error { return runMaintain(cfg, *quick, report) })
+	run("engine", func() error { return runEngine(cfg, *quick, report) })
+
+	if *jsonPath != "" {
+		payload := map[string]any{
+			"generated": time.Now().UTC().Format(time.RFC3339),
+			"config": map[string]any{
+				"experiment": *exp, "scales": scales, "runs": *runs,
+				"workers": *workers, "machines": *machines, "seed": *seed, "quick": *quick,
+			},
+			"results": report,
+		}
+		data, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(cfg.Out, "\nwrote %s\n", *jsonPath)
+	}
 }
 
-func runMaintain(cfg bench.Config) error {
+func runEngine(cfg bench.Config, quick bool, report map[string]any) error {
+	workerCounts := []int{1, 4, 16}
+	if quick {
+		workerCounts = []int{1, 4}
+	}
+	res, err := bench.EngineBench(cfg, "tpch", workerCounts)
+	if err != nil {
+		return err
+	}
+	bench.PrintEngine(cfg.Out, res)
+	report["engine"] = res
+	return nil
+}
+
+func runMaintain(cfg bench.Config, quick bool, report map[string]any) error {
+	readers, batchRows, window := 8, 200, time.Second
+	if quick {
+		readers, batchRows, window = 4, 100, 300*time.Millisecond
+	}
+	var all []bench.MaintainResult
 	for _, workload := range []string{"tpch", "tpcds"} {
-		results, err := bench.Maintain(cfg, workload, 8, 200, time.Second)
+		results, err := bench.Maintain(cfg, workload, readers, batchRows, window)
 		if err != nil {
 			return err
 		}
 		for _, res := range results {
 			bench.PrintMaintain(cfg.Out, res)
 		}
+		all = append(all, results...)
 	}
+	report["maintain"] = all
 	return nil
 }
 
-func runServe(cfg bench.Config) error {
+func runServe(cfg bench.Config, quick bool, report map[string]any) error {
+	clients, window := []int{1, 4, 16}, 500*time.Millisecond
+	if quick {
+		clients, window = []int{1, 4}, 150*time.Millisecond
+	}
+	serveReport := map[string]any{}
 	for _, workload := range []string{"tpch", "tpcds"} {
-		res, err := bench.Concurrency(cfg, workload, []int{1, 4, 16}, 500*time.Millisecond)
+		res, err := bench.Concurrency(cfg, workload, clients, window)
 		if err != nil {
 			return err
 		}
 		bench.PrintConcurrency(cfg.Out, workload, res)
+		serveReport[workload] = res
 	}
+	report["serve"] = serveReport
 	return nil
 }
 
-func runLoad(cfg bench.Config) error {
+func runLoad(cfg bench.Config, report map[string]any) error {
+	loadReport := map[string]any{}
 	for _, workload := range []string{"tpch", "tpcds"} {
 		var results []bench.LoadResult
 		for _, sc := range cfg.Scales {
@@ -104,11 +175,13 @@ func runLoad(cfg bench.Config) error {
 			results = append(results, r)
 		}
 		bench.PrintLoad(cfg.Out, results)
+		loadReport[workload] = results
 	}
+	report["load"] = loadReport
 	return nil
 }
 
-func runWorkload(cfg bench.Config, workload string) error {
+func runWorkload(cfg bench.Config, workload string, report map[string]any) error {
 	var all []bench.WorkloadResult
 	for _, sc := range cfg.Scales {
 		env, err := bench.NewEnv(workload, sc, cfg.Seed, cfg.Workers)
@@ -135,13 +208,15 @@ func runWorkload(cfg bench.Config, workload string) error {
 		bench.PrintSelected(cfg.Out, last, "Table 6 — selected TPC-DS queries by class",
 			[]string{"q37", "q82", "q84", "q7", "q12", "q56", "q22", "q45", "q69", "q74", "q32", "q94"})
 	}
+	report[workload] = all
 	return nil
 }
 
-func runMemory(cfg bench.Config) error {
+func runMemory(cfg bench.Config, report map[string]any) error {
 	fmt.Fprintf(cfg.Out, "\nTable 7 — peak heap during workload execution (MB)\n")
 	fmt.Fprintf(cfg.Out, "%-8s %-8s %10s\n", "workload", "engine", "peak_mb")
 	sc := cfg.Scales[len(cfg.Scales)-1]
+	var rows []map[string]any
 	for _, workload := range []string{"tpch", "tpcds"} {
 		env, err := bench.NewEnv(workload, sc, cfg.Seed, cfg.Workers)
 		if err != nil {
@@ -160,24 +235,30 @@ func runMemory(cfg bench.Config) error {
 				return err
 			}
 			fmt.Fprintf(cfg.Out, "%-8s %-8s %10.1f\n", workload, engine, float64(peak)/(1<<20))
+			rows = append(rows, map[string]any{
+				"workload": workload, "engine": engine, "scale": sc, "peak_bytes": peak})
 		}
 	}
+	report["memory"] = rows
 	return nil
 }
 
-func runDistributed(cfg bench.Config) error {
+func runDistributed(cfg bench.Config, report map[string]any) error {
 	sc := cfg.Scales[len(cfg.Scales)-1]
+	distReport := map[string]any{}
 	for _, workload := range []string{"tpch", "tpcds"} {
 		res, err := bench.RunDistributed(cfg, workload, sc)
 		if err != nil {
 			return err
 		}
 		bench.PrintDistributed(cfg.Out, res)
+		distReport[workload] = res
 	}
+	report["distributed"] = distReport
 	return nil
 }
 
-func runAblation(cfg bench.Config) error {
+func runAblation(cfg bench.Config, report map[string]any) error {
 	sc := cfg.Scales[len(cfg.Scales)-1]
 	th, err := bench.AblationTheta(cfg, sc, []float64{0, 1, 4, 16, 1e9})
 	if err != nil {
@@ -204,5 +285,7 @@ func runAblation(cfg bench.Config) error {
 		return err
 	}
 	bench.PrintPolicy(cfg.Out, pl)
+	report["ablation"] = map[string]any{
+		"theta": th, "cartesian": ca, "agg_path": ap, "workers": wk, "policy": pl}
 	return nil
 }

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/tag"
+)
+
+// EngineModes compared by the message-plane experiment: the same
+// engine with the communication stage forced onto one goroutine
+// ("serial", the pre-sharding behavior) vs. merged shard-parallel by
+// the worker pool ("sharded"). Both planes are byte-identical in
+// output and cost accounting; only wall time and memory differ.
+var EngineModes = []string{"serial", "sharded"}
+
+// engineQueries are the message-heavy per-workload queries the
+// experiment times through a full core.Session: multiway joins whose
+// TAG-join traversals push large message volumes per superstep.
+var engineQueries = map[string][]string{
+	"tpch":  {"q5", "q9"},
+	"tpcds": {"q56", "q74"},
+}
+
+// EngineResult is one cell of the message-plane experiment.
+type EngineResult struct {
+	Workload     string  `json:"workload"`
+	Scale        float64 `json:"scale"`
+	Program      string  `json:"program"` // "flood" or a query id
+	Workers      int     `json:"workers"`
+	Mode         string  `json:"mode"` // "serial" | "sharded"
+	NsPerOp      int64   `json:"ns_per_op"`
+	Supersteps   int64   `json:"supersteps"`
+	Messages     int64   `json:"messages"`
+	MessageBytes int64   `json:"message_bytes"`
+	MsgsPerSec   float64 `json:"messages_per_sec"`
+	InboxBytes   int64   `json:"inbox_bytes"`       // sparse plane, resident after the run
+	DenseBytes   int64   `json:"dense_inbox_bytes"` // what the dense plane held for this graph
+}
+
+// floodProgram stresses the message plane: every active vertex
+// forwards one payload along every edge for a fixed number of
+// supersteps. Compute is trivial, so wall time is dominated by the
+// communication stage — the worst case for a serial merge.
+type floodProgram struct{ steps int }
+
+func (p *floodProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
+	ctx.AddOps(1)
+	if ctx.Step() >= p.steps {
+		return
+	}
+	for _, e := range ctx.Graph().Edges(v) {
+		ctx.Send(v, e.To, int64(1))
+	}
+}
+
+// EngineBench measures superstep throughput and per-session inbox
+// memory of the sharded message plane against the serial merge, at
+// several worker counts, on a synthetic all-edges flood and on
+// message-heavy workload queries. One graph (cfg.Scales[0]) is shared
+// by every cell; each cell gets a fresh engine or session.
+func EngineBench(cfg Config, workload string, workerCounts []int) ([]EngineResult, error) {
+	cfg = cfg.withDefaults()
+	scale := cfg.Scales[0]
+	cat := generate(workload, scale, cfg.Seed)
+	g, err := tag.Build(cat, nil)
+	if err != nil {
+		return nil, err
+	}
+	dense := bsp.DenseInboxBytes(g.G.NumVertices())
+
+	var out []EngineResult
+	flood := &floodProgram{steps: 3}
+	initial := g.TupleVertices(maintainTable[workload])
+	if len(initial) == 0 {
+		return nil, fmt.Errorf("bench: no seed vertices for workload %q", workload)
+	}
+	for _, w := range workerCounts {
+		for _, mode := range EngineModes {
+			eng := bsp.NewEngine(g.G, bsp.Options{Workers: w, SerialMerge: mode == "serial"})
+			var stats bsp.Stats
+			avg := timedCell(cfg, func() { stats = eng.Run(flood, initial) })
+			out = append(out, EngineResult{
+				Workload: workload, Scale: scale, Program: "flood", Workers: w, Mode: mode,
+				NsPerOp: avg, Supersteps: int64(stats.Supersteps), Messages: stats.Messages,
+				MessageBytes: stats.MessageBytes,
+				MsgsPerSec:   float64(stats.Messages) / (float64(avg) / 1e9),
+				InboxBytes:   eng.InboxBytes(), DenseBytes: dense,
+			})
+		}
+	}
+
+	for _, id := range engineQueries[workload] {
+		sql := ""
+		for _, q := range WorkloadQueries(workload) {
+			if q.ID == id {
+				sql = q.SQL
+			}
+		}
+		if sql == "" {
+			return nil, fmt.Errorf("bench: unknown engine query %q", id)
+		}
+		for _, w := range workerCounts {
+			for _, mode := range EngineModes {
+				sess := core.NewSession(g, bsp.Options{Workers: w, SerialMerge: mode == "serial"})
+				if _, err := sess.Query(sql); err != nil { // shake out errors early
+					return nil, fmt.Errorf("bench: %s on %d workers: %w", id, w, err)
+				}
+				var qerr error
+				before := sess.Stats()
+				runs := int64(0)
+				avg := timedCell(cfg, func() {
+					runs++
+					if _, err := sess.Query(sql); err != nil && qerr == nil {
+						qerr = err
+					}
+				})
+				if qerr != nil {
+					return nil, qerr
+				}
+				stats := sess.Stats().Sub(before)
+				out = append(out, EngineResult{
+					Workload: workload, Scale: scale, Program: id, Workers: w, Mode: mode,
+					NsPerOp:      avg,
+					Supersteps:   int64(stats.Supersteps) / runs,
+					Messages:     stats.Messages / runs,
+					MessageBytes: stats.MessageBytes / runs,
+					MsgsPerSec:   float64(stats.Messages/runs) / (float64(avg) / 1e9),
+					InboxBytes:   sess.InboxBytes(), DenseBytes: dense,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// timedCell measures one benchmark cell with the noise controls small
+// cells need: a warm-up call (pools fill, maps size), a GC fence so a
+// previous cell's garbage is not collected on this cell's clock, and
+// an iteration count scaled up until the cell covers ≥~200ms of work
+// (capped at 200 iterations). Returns average ns per call.
+func timedCell(cfg Config, call func()) int64 {
+	call() // warm-up
+	runtime.GC()
+	iters := cfg.Runs
+	probe := time.Now()
+	call()
+	if per := time.Since(probe); per < 50*time.Millisecond && per > 0 {
+		more := int(200 * time.Millisecond / per)
+		if more > 200 {
+			more = 200
+		}
+		if iters < more {
+			iters = more
+		}
+	}
+	start := time.Now()
+	for r := 0; r < iters; r++ {
+		call()
+	}
+	return time.Since(start).Nanoseconds() / int64(iters)
+}
+
+// PrintEngine renders the message-plane comparison: serial vs sharded
+// merge per (program, workers), plus the per-session inbox residency.
+func PrintEngine(w io.Writer, results []EngineResult) {
+	if len(results) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nMessage plane — %s SF %g: sharded vs serial communication stage\n",
+		results[0].Workload, results[0].Scale)
+	fmt.Fprintf(w, "(identical output and cost accounting; flood = all-edges synthetic, rest = TAG-join queries)\n")
+	if runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintf(w, "NOTE: GOMAXPROCS=1 — merge goroutines timeshare one core, so sharded ≈ serial here; the sharded win needs ≥2 cores.\n")
+	}
+	fmt.Fprintf(w, "%-8s %8s %12s %12s %9s %14s %12s\n",
+		"program", "workers", "serial_ms", "sharded_ms", "speedup", "msgs/s_shard", "supersteps")
+	type key struct {
+		program string
+		workers int
+	}
+	cells := map[key]map[string]EngineResult{}
+	var order []key
+	for _, r := range results {
+		k := key{r.Program, r.Workers}
+		if cells[k] == nil {
+			cells[k] = map[string]EngineResult{}
+			order = append(order, k)
+		}
+		cells[k][r.Mode] = r
+	}
+	for _, k := range order {
+		serial, sharded := cells[k]["serial"], cells[k]["sharded"]
+		speedup := 0.0
+		if sharded.NsPerOp > 0 {
+			speedup = float64(serial.NsPerOp) / float64(sharded.NsPerOp)
+		}
+		fmt.Fprintf(w, "%-8s %8d %12.3f %12.3f %8.2fx %14.0f %12d\n",
+			k.program, k.workers,
+			float64(serial.NsPerOp)/1e6, float64(sharded.NsPerOp)/1e6,
+			speedup, sharded.MsgsPerSec, sharded.Supersteps)
+	}
+	// Residency summary in the serving configuration (1 worker per
+	// session — concurrency comes from running many sessions).
+	mem := results[len(results)-1]
+	for _, r := range results {
+		if r.Workers == 1 && r.Mode == "sharded" {
+			mem = r
+		}
+	}
+	ratio := 0.0
+	if mem.InboxBytes > 0 {
+		ratio = float64(mem.DenseBytes) / float64(mem.InboxBytes)
+	}
+	fmt.Fprintf(w, "Idle per-session inbox residency (1-worker serving session, after %s): sparse %d B vs dense %d B — %.1fx smaller (dense held O(|V|) headers before a single message; sparse is O(active frontier), trimmed when idle)\n",
+		mem.Program, mem.InboxBytes, mem.DenseBytes, ratio)
+}

@@ -3,7 +3,7 @@ package bsp
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -20,6 +20,11 @@ type Message struct {
 // Compute must only touch the state of its own vertex (vertex payloads of
 // other vertices may be read if the program guarantees they are not being
 // mutated concurrently, e.g. immutable TAG tuple data).
+//
+// The inbox slice is only valid for the duration of the Compute call:
+// the engine recycles message buffers across supersteps, so a program
+// that needs messages later must copy them (payload references may be
+// kept — only the slice itself is reused).
 type Program interface {
 	Compute(ctx *Context, v VertexID, inbox []Message)
 }
@@ -41,6 +46,8 @@ func (f ProgramFunc) Compute(ctx *Context, v VertexID, inbox []Message) { f(ctx,
 // Options configures an Engine run.
 type Options struct {
 	// Workers is the thread parallelism degree; defaults to GOMAXPROCS.
+	// It fixes both the compute fan-out and the number of message-plane
+	// shards (one merge shard per worker).
 	Workers int
 	// MaxSupersteps guards against runaway programs; defaults to 100000.
 	MaxSupersteps int
@@ -53,6 +60,12 @@ type Options struct {
 	// PayloadSize estimates the wire size of a message payload in bytes;
 	// defaults to 8 bytes per payload.
 	PayloadSize func(any) int
+	// SerialMerge runs the communication stage on a single goroutine
+	// (the pre-sharding engine behavior). Delivery order, Emit output
+	// and every Stats field are identical either way — the flag exists
+	// so benchmarks and cross-check tests can compare the serial and
+	// sharded message planes.
+	SerialMerge bool
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +137,100 @@ type outMsg struct {
 	payload  any
 }
 
+// wire is the network-dedup key: identical payloads from one source
+// vertex to one destination machine cross the interconnect once and fan
+// out locally (a per-machine message combiner).
+type wire struct {
+	from VertexID
+	part int
+	pay  any
+}
+
+// mergeShard is one shard of the sharded message plane. During the
+// communication stage, worker w owns shard w exclusively: it is the
+// only goroutine that touches the shard's inbox maps, key lists, free
+// list, dedup set and stats, so the parallel merge needs no locks.
+type mergeShard struct {
+	// in holds the messages delivered at the last barrier, keyed by
+	// destination vertex — the sparse replacement for the dense O(|V|)
+	// inbox array. inKeys lists its keys in delivery order. Entries are
+	// deleted (and their buffers recycled) once consumed, so resident
+	// size tracks the active frontier, not the graph.
+	in     map[VertexID][]Message
+	inKeys []VertexID
+	// next accumulates the messages sent during the current superstep;
+	// the planes swap at the barrier.
+	next     map[VertexID][]Message
+	nextKeys []VertexID
+	// free recycles message buffers across supersteps and Runs, so a
+	// steady-state superstep allocates ~nothing.
+	free [][]Message
+	// sent is the per-shard network dedup set. It is globally exact
+	// because shardOf routes every vertex of one simulated partition to
+	// the same shard, so no (source, destination-machine, payload)
+	// triple is ever split across shards.
+	sent map[wire]bool
+	// stats is this shard's share of the superstep's message
+	// accounting; the coordinator folds it into Engine.stats at the
+	// barrier.
+	stats Stats
+}
+
+// msgBytes is the in-memory size of one Message (padded int32 +
+// 16-byte interface) used by the footprint accounting.
+const msgBytes = 24
+
+// maxPooledBytes bounds the message buffers a Run leaves pooled per
+// engine (split evenly across shards). Within a run the pool is
+// unbounded (steady-state supersteps must not allocate); at the end of
+// a run anything beyond the budget returns to the GC with the frontier
+// that needed it, so a session that just ran a huge query does not
+// stay huge while idle.
+const maxPooledBytes = 32 << 10
+
+// recycleIn clears the consumed inbox entries of a shard, zeroing
+// payload references and returning the buffers to the free list.
+func (sh *mergeShard) recycleIn() {
+	for _, v := range sh.inKeys {
+		buf := sh.in[v]
+		for i := range buf {
+			buf[i] = Message{}
+		}
+		sh.free = append(sh.free, buf[:0])
+		delete(sh.in, v)
+	}
+	sh.inKeys = sh.inKeys[:0]
+}
+
+// trimFree drops pooled buffers beyond this shard's share of the
+// engine's pooling budget.
+func (sh *mergeShard) trimFree(budget int64) {
+	var total int64
+	n := 0
+	for _, buf := range sh.free {
+		total += int64(cap(buf)) * msgBytes
+		if total > budget {
+			break
+		}
+		n++
+	}
+	for i := n; i < len(sh.free); i++ {
+		sh.free[i] = nil
+	}
+	sh.free = sh.free[:n]
+}
+
+// getBuf pops a recycled message buffer; nil means append will allocate
+// a fresh one on first use.
+func (sh *mergeShard) getBuf() []Message {
+	if n := len(sh.free); n > 0 {
+		buf := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return buf
+	}
+	return nil
+}
+
 // Engine executes vertex programs over a frozen graph. An Engine may run
 // several programs in sequence over the same graph (as TAG-join does for
 // its reduction and collection phases); Stats accumulate across runs.
@@ -137,33 +244,81 @@ type outMsg struct {
 // on it is running; to maintain a graph that is being served, mutate a
 // copy-on-write Clone off to the side and point new engines at the
 // clone (the generation scheme in internal/serve).
+//
+// The message plane is sharded: each worker context keeps one outbox
+// per destination shard, and after the compute barrier the same worker
+// pool merges them in parallel — worker w is the only writer into
+// shard w. Inboxes are sparse maps keyed by active vertex, so an idle
+// engine holds O(active) memory, not O(|V|), and contexts, outboxes,
+// aggregator maps and message buffers are pooled across supersteps and
+// Runs.
 type Engine struct {
 	g    *Graph
 	opts Options
 
 	stats Stats
 
-	inbox  [][]Message
-	dirty  []VertexID
-	nextIn [][]Message
+	shards []mergeShard
+	ctxs   []*Context
+	active []VertexID
 
 	aggs   map[string]int64
 	emits  []any
 	halted bool
+
+	// wg coordinates the compute and merge fan-outs; a field rather
+	// than a Run local so steady-state supersteps allocate nothing.
+	wg sync.WaitGroup
 }
 
-// NewEngine prepares an engine over g.
+// NewEngine prepares an engine over g. Construction is cheap — O(#workers),
+// independent of the graph size — so per-generation session pools can
+// create engines lazily on the serving path.
 func NewEngine(g *Graph, opts Options) *Engine {
 	if !g.Frozen() {
 		g.Freeze()
 	}
-	return &Engine{
+	opts = opts.withDefaults()
+	e := &Engine{
 		g:      g,
-		opts:   opts.withDefaults(),
-		inbox:  make([][]Message, g.NumVertices()),
-		nextIn: make([][]Message, g.NumVertices()),
+		opts:   opts,
+		shards: make([]mergeShard, opts.Workers),
+		ctxs:   make([]*Context, opts.Workers),
 		aggs:   make(map[string]int64),
 	}
+	for s := range e.shards {
+		e.shards[s].in = make(map[VertexID][]Message)
+		e.shards[s].next = make(map[VertexID][]Message)
+	}
+	for w := range e.ctxs {
+		e.ctxs[w] = &Context{eng: e, out: make([][]outMsg, opts.Workers), aggs: make(map[string]int64)}
+	}
+	return e
+}
+
+// shardOf maps a destination vertex to the merge shard that owns it.
+// Under a simulated partitioning the shard is derived from the vertex's
+// partition, so each simulated machine is owned by exactly one shard —
+// that keeps the per-shard network dedup globally exact. Otherwise
+// vertices are striped over shards directly.
+func (e *Engine) shardOf(v VertexID) int {
+	n := len(e.shards)
+	if n == 1 {
+		return 0
+	}
+	if e.opts.Partitions > 1 {
+		s := e.opts.PartitionOf(v) % n
+		if s < 0 {
+			s += n
+		}
+		return s
+	}
+	return int(v) % n
+}
+
+// inboxOf returns the messages delivered to v at the last barrier.
+func (e *Engine) inboxOf(v VertexID) []Message {
+	return e.shards[e.shardOf(v)].in[v]
 }
 
 // Graph returns the underlying graph.
@@ -188,12 +343,41 @@ func (e *Engine) AddExternal(msgs, bytes int64) {
 func (e *Engine) AggInt(name string) int64 { return e.aggs[name] }
 
 // Emitted returns values emitted via Context.Emit during the last Run, in
-// deterministic (worker-, then vertex-) order.
+// deterministic (worker-, then vertex-) order. The slice is valid until
+// the next Run.
 func (e *Engine) Emitted() []any { return e.emits }
 
 // Halt requests termination after the current superstep; usable from a
 // MasterProgram.
 func (e *Engine) Halt() { e.halted = true }
+
+// InboxBytes estimates the resident memory of the sparse message plane:
+// live inbox entries plus the pooled buffers kept for reuse. Compare
+// with DenseInboxBytes: the dense plane held two O(|V|) slice-header
+// arrays per engine before counting a single message.
+func (e *Engine) InboxBytes() int64 {
+	const entrySize = 40 // map key + slice header, approximate
+	var total int64
+	for s := range e.shards {
+		sh := &e.shards[s]
+		total += int64(len(sh.in)+len(sh.next)) * entrySize
+		for _, buf := range sh.in {
+			total += int64(cap(buf)) * msgBytes
+		}
+		for _, buf := range sh.next {
+			total += int64(cap(buf)) * msgBytes
+		}
+		for _, buf := range sh.free {
+			total += int64(cap(buf)) * msgBytes
+		}
+	}
+	return total
+}
+
+// DenseInboxBytes returns what the pre-sharding dense message plane
+// held resident for a graph of n vertices: two arrays of O(|V|) slice
+// headers per engine, regardless of how many vertices were active.
+func DenseInboxBytes(n int) int64 { return int64(n) * 48 }
 
 // Run executes prog starting from the initial active set until no vertex
 // is active, the master halts, or MaxSupersteps is reached. It returns the
@@ -204,18 +388,14 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 	e.emits = e.emits[:0]
 
 	// The graph may have grown since the engine was created (incremental
-	// TAG maintenance adds vertices); make room and ensure it is frozen.
+	// TAG maintenance adds vertices); the sparse inbox maps absorb new
+	// vertex ids with no resizing, so only re-freezing matters here.
 	if !e.g.Frozen() {
 		e.g.Freeze()
 	}
-	if n := e.g.NumVertices(); n > len(e.inbox) {
-		e.inbox = append(e.inbox, make([][]Message, n-len(e.inbox))...)
-		e.nextIn = append(e.nextIn, make([][]Message, n-len(e.nextIn))...)
-	}
 
-	active := make([]VertexID, len(initial))
-	copy(active, initial)
-	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	active := append(e.active[:0], initial...)
+	slices.Sort(active)
 
 	master, hasMaster := prog.(MasterProgram)
 
@@ -232,97 +412,140 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 		// Aggregator values from superstep S are visible during S+1 and at
 		// the following barrier; clear them only now that the previous
 		// barrier (and master hook) has consumed them.
-		for k := range e.aggs {
-			delete(e.aggs, k)
-		}
+		clear(e.aggs)
 
-		// Computation stage: shard active vertices over workers.
-		workers := e.opts.Workers
+		// Computation stage: shard active vertices over the pooled worker
+		// contexts.
+		workers := len(e.ctxs)
 		if workers > len(active) {
 			workers = len(active)
 		}
-		ctxs := make([]*Context, workers)
-		var wg sync.WaitGroup
 		chunk := (len(active) + workers - 1) / workers
 		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			if lo > len(active) {
-				lo = len(active)
+			lo := min(w*chunk, len(active))
+			hi := min(lo+chunk, len(active))
+			ctx := e.ctxs[w]
+			ctx.step = step
+			if workers == 1 {
+				for _, v := range active {
+					prog.Compute(ctx, v, e.inboxOf(v))
+				}
+				break
 			}
-			hi := lo + chunk
-			if hi > len(active) {
-				hi = len(active)
-			}
-			ctx := &Context{eng: e, step: step, aggs: make(map[string]int64)}
-			ctxs[w] = ctx
-			wg.Add(1)
+			e.wg.Add(1)
 			go func(verts []VertexID, ctx *Context) {
-				defer wg.Done()
+				defer e.wg.Done()
 				for _, v := range verts {
-					prog.Compute(ctx, v, e.inbox[v])
+					prog.Compute(ctx, v, e.inboxOf(v))
 				}
 			}(active[lo:hi], ctx)
 		}
-		wg.Wait()
+		e.wg.Wait()
 
-		// Barrier: clear consumed inboxes.
-		for _, v := range active {
-			e.inbox[v] = nil
-		}
-
-		// Communication stage: merge per-worker outboxes deterministically.
-		// Network accounting batches identical payloads from one source to
-		// one destination machine into a single wire transfer, as BSP
-		// engines' per-machine message combiners do: the payload crosses
-		// the interconnect once and fans out locally.
-		e.dirty = e.dirty[:0]
-		type wire struct {
-			from VertexID
-			part int
-			pay  any
-		}
-		var sent map[wire]bool
-		if e.opts.Partitions > 1 {
-			sent = make(map[wire]bool)
-		}
-		for _, ctx := range ctxs {
-			for _, m := range ctx.out {
-				if len(e.nextIn[m.to]) == 0 {
-					e.dirty = append(e.dirty, m.to)
-				}
-				e.nextIn[m.to] = append(e.nextIn[m.to], Message{From: m.from, Payload: m.payload})
-				sz := int64(e.opts.PayloadSize(m.payload))
-				e.stats.Messages++
-				e.stats.MessageBytes += sz
-				if e.opts.Partitions > 1 && e.opts.PartitionOf(m.from) != e.opts.PartitionOf(m.to) {
-					w := wire{from: m.from, part: e.opts.PartitionOf(m.to), pay: m.payload}
-					if !sent[w] {
-						sent[w] = true
-						e.stats.NetworkMessages++
-						e.stats.NetworkBytes += sz
-					}
-				}
+		// Communication stage: the same worker pool merges the sharded
+		// outboxes, worker w writing only shard w. Delivery into any one
+		// vertex's inbox happens in (worker, send) order — exactly the
+		// serial merge's order — so the stage is deterministic no matter
+		// how many goroutines run it.
+		if e.opts.SerialMerge || len(e.shards) == 1 {
+			for s := range e.shards {
+				e.mergeShard(s)
 			}
+		} else {
+			for s := range e.shards {
+				e.wg.Add(1)
+				go func(s int) {
+					defer e.wg.Done()
+					e.mergeShard(s)
+				}(s)
+			}
+			e.wg.Wait()
+		}
+
+		// Barrier: fold per-shard accounting, swap the message planes,
+		// and collect the next active set.
+		active = active[:0]
+		for s := range e.shards {
+			sh := &e.shards[s]
+			e.stats.Add(sh.stats)
+			sh.stats = Stats{}
+			sh.in, sh.next = sh.next, sh.in
+			sh.inKeys, sh.nextKeys = sh.nextKeys, sh.inKeys
+			active = append(active, sh.inKeys...)
+		}
+		// Per-worker outputs, in deterministic worker order.
+		for _, ctx := range e.ctxs {
 			for k, v := range ctx.aggs {
 				e.aggs[k] += v
 			}
+			clear(ctx.aggs)
 			e.emits = append(e.emits, ctx.emits...)
+			for i := range ctx.emits {
+				ctx.emits[i] = nil
+			}
+			ctx.emits = ctx.emits[:0]
 			e.stats.ComputeOps += ctx.ops
+			ctx.ops = 0
 		}
-
-		// Deliver: swap inboxes, activate recipients.
-		e.inbox, e.nextIn = e.nextIn, e.inbox
-		sort.Slice(e.dirty, func(i, j int) bool { return e.dirty[i] < e.dirty[j] })
-		active = append(active[:0], e.dirty...)
+		slices.Sort(active)
 	}
 
-	// Drop any undelivered messages so the next Run starts clean.
-	for _, v := range e.dirty {
-		e.inbox[v] = nil
+	// Drop any undelivered messages so the next Run starts clean; their
+	// buffers go back to the free lists (bounded, so a huge run's peak
+	// frontier is not kept resident by an idle session).
+	budget := int64(maxPooledBytes / len(e.shards))
+	for s := range e.shards {
+		e.shards[s].recycleIn()
+		e.shards[s].trimFree(budget)
 	}
-	e.dirty = e.dirty[:0]
+	e.active = active
 
 	return e.stats.Sub(before)
+}
+
+// mergeShard runs the communication stage for one shard: recycle the
+// inbox entries this shard's vertices consumed during the superstep,
+// then deliver every worker's outbox slice for this shard, in worker
+// order. Network accounting batches identical payloads from one source
+// to one destination machine into a single wire transfer, as BSP
+// engines' per-machine message combiners do: the payload crosses the
+// interconnect once and fans out locally.
+func (e *Engine) mergeShard(s int) {
+	sh := &e.shards[s]
+	sh.recycleIn()
+	partitions := e.opts.Partitions
+	if partitions > 1 {
+		if sh.sent == nil {
+			sh.sent = make(map[wire]bool)
+		} else {
+			clear(sh.sent)
+		}
+	}
+	for _, ctx := range e.ctxs {
+		msgs := ctx.out[s]
+		for i := range msgs {
+			m := &msgs[i]
+			buf, ok := sh.next[m.to]
+			if !ok {
+				buf = sh.getBuf()
+				sh.nextKeys = append(sh.nextKeys, m.to)
+			}
+			sh.next[m.to] = append(buf, Message{From: m.from, Payload: m.payload})
+			sz := int64(e.opts.PayloadSize(m.payload))
+			sh.stats.Messages++
+			sh.stats.MessageBytes += sz
+			if partitions > 1 && e.opts.PartitionOf(m.from) != e.opts.PartitionOf(m.to) {
+				w := wire{from: m.from, part: e.opts.PartitionOf(m.to), pay: m.payload}
+				if !sh.sent[w] {
+					sh.sent[w] = true
+					sh.stats.NetworkMessages++
+					sh.stats.NetworkBytes += sz
+				}
+			}
+			msgs[i] = outMsg{} // release payload references held by the outbox
+		}
+		ctx.out[s] = msgs[:0]
+	}
 }
 
 // Context is the per-worker view handed to Compute. All methods are safe
@@ -330,7 +553,7 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 type Context struct {
 	eng   *Engine
 	step  int
-	out   []outMsg
+	out   [][]outMsg // one outbox per destination merge shard
 	aggs  map[string]int64
 	emits []any
 	ops   int64
@@ -343,9 +566,12 @@ func (c *Context) Graph() *Graph { return c.eng.g }
 func (c *Context) Step() int { return c.step }
 
 // Send queues a message for delivery at the next superstep. Vertices may
-// message any vertex whose id they know (§2).
+// message any vertex whose id they know (§2). The message lands in the
+// outbox of the shard that owns the destination, so the post-barrier
+// merge can run shard-parallel without locks.
 func (c *Context) Send(from, to VertexID, payload any) {
-	c.out = append(c.out, outMsg{from: from, to: to, payload: payload})
+	s := c.eng.shardOf(to)
+	c.out[s] = append(c.out[s], outMsg{from: from, to: to, payload: payload})
 }
 
 // SendAlong sends payload along every out-edge of v carrying label and

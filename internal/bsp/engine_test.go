@@ -274,6 +274,134 @@ func TestEngineMaxSupersteps(t *testing.T) {
 	}
 }
 
+// meshGraph builds a denser test graph: n vertices, each with edges to
+// the next k vertices (mod n), so supersteps fan out many messages.
+func meshGraph(n, k int) (*Graph, LabelID) {
+	g := NewGraph()
+	lbl := g.Symbols.Intern("e")
+	vl := g.Symbols.Intern("node")
+	for i := 0; i < n; i++ {
+		g.AddVertex(vl, nil)
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			g.AddEdge(VertexID(i), VertexID((i+j)%n), lbl)
+		}
+	}
+	g.Freeze()
+	return g, lbl
+}
+
+// hopProgram forwards a bounded hop counter along every "e" edge and
+// emits each vertex's inbox size — output that is sensitive to both
+// message delivery order and activation order.
+type hopProgram struct {
+	lbl  LabelID
+	hops int
+}
+
+func (p *hopProgram) Compute(ctx *Context, v VertexID, inbox []Message) {
+	ctx.AddOps(1 + len(inbox))
+	ctx.AddInt("visits", 1)
+	if len(inbox) > 0 {
+		ctx.Emit([2]int{int(v), len(inbox)})
+	}
+	if ctx.Step() < p.hops {
+		ctx.SendAlong(v, p.lbl, ctx.Step())
+	}
+}
+
+// TestShardedMergeMatchesSerial: the sharded parallel merge must be
+// byte-identical to the serial merge — same Emit stream in the same
+// order, same aggregators, and exactly equal Stats (including the
+// network dedup accounting) — across worker counts and partitionings.
+func TestShardedMergeMatchesSerial(t *testing.T) {
+	const n, k = 97, 5
+	for _, partitions := range []int{1, 2, 6} {
+		var baseStats Stats
+		var baseEmit []any
+		var baseAgg int64
+		for i, cfg := range []struct {
+			workers int
+			serial  bool
+		}{
+			{1, true}, {1, false}, {2, false}, {4, false}, {8, false}, {4, true},
+		} {
+			g, lbl := meshGraph(n, k)
+			eng := NewEngine(g, Options{Workers: cfg.workers, Partitions: partitions, SerialMerge: cfg.serial})
+			initial := []VertexID{0, 13, 40, 77}
+			stats := eng.Run(&hopProgram{lbl: lbl, hops: 4}, initial)
+			emitted := append([]any(nil), eng.Emitted()...)
+			agg := eng.AggInt("visits")
+			if i == 0 {
+				baseStats, baseEmit, baseAgg = stats, emitted, agg
+				continue
+			}
+			if stats != baseStats {
+				t.Errorf("partitions=%d workers=%d serial=%v: stats %v != base %v",
+					partitions, cfg.workers, cfg.serial, stats, baseStats)
+			}
+			if agg != baseAgg {
+				t.Errorf("partitions=%d workers=%d serial=%v: agg %d != %d",
+					partitions, cfg.workers, cfg.serial, agg, baseAgg)
+			}
+			if len(emitted) != len(baseEmit) {
+				t.Fatalf("partitions=%d workers=%d serial=%v: %d emits, want %d",
+					partitions, cfg.workers, cfg.serial, len(emitted), len(baseEmit))
+			}
+			for j := range emitted {
+				if emitted[j] != baseEmit[j] {
+					t.Fatalf("partitions=%d workers=%d serial=%v: emit[%d] = %v, want %v",
+						partitions, cfg.workers, cfg.serial, j, emitted[j], baseEmit[j])
+				}
+			}
+		}
+	}
+}
+
+// TestSteadyStateZeroAlloc: once pools are warm, a whole Run on a
+// single-worker engine allocates nothing — contexts, inbox maps,
+// message buffers, aggregator maps and the active list are all reused.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	g, lbl := meshGraph(64, 3)
+	eng := NewEngine(g, Options{Workers: 1})
+	prog := ProgramFunc(func(ctx *Context, v VertexID, inbox []Message) {
+		if ctx.Step() < 3 {
+			ctx.SendAlong(v, lbl, nil)
+		}
+	})
+	initial := []VertexID{0, 1, 2, 3}
+	eng.Run(prog, initial)
+	eng.Run(prog, initial)
+	allocs := testing.AllocsPerRun(10, func() { eng.Run(prog, initial) })
+	if allocs > 0 {
+		t.Errorf("steady-state Run allocates %.1f times, want 0", allocs)
+	}
+}
+
+// TestInboxResidencyIsSparse: an engine over a large graph with a tiny
+// active frontier must hold far less inbox memory than the dense
+// O(|V|) plane did, and an idle engine must trim back under the
+// pooling budget.
+func TestInboxResidencyIsSparse(t *testing.T) {
+	const n = 20000
+	g, lbl := chainGraph(n)
+	eng := NewEngine(g, Options{Workers: 4})
+	prog := ProgramFunc(func(ctx *Context, v VertexID, inbox []Message) {
+		if ctx.Step() < 50 {
+			ctx.SendAlong(v, lbl, nil)
+		}
+	})
+	eng.Run(prog, []VertexID{0})
+	sparse, dense := eng.InboxBytes(), DenseInboxBytes(g.NumVertices())
+	if sparse == 0 {
+		t.Fatal("InboxBytes = 0 after a run that pooled buffers")
+	}
+	if sparse*10 > dense {
+		t.Errorf("sparse residency %d B is not << dense %d B", sparse, dense)
+	}
+}
+
 func TestStatsAddAndString(t *testing.T) {
 	a := Stats{Supersteps: 1, Messages: 2, MessageBytes: 3, ComputeOps: 4}
 	b := Stats{Supersteps: 10, Messages: 20, NetworkBytes: 5}

@@ -11,12 +11,15 @@ import (
 )
 
 // Session holds all per-query mutable state of one evaluation over a
-// shared, frozen TAG graph: its own BSP engine (inboxes, stats), the
-// subquery memoization caches, the decorrelation tables, and a snapshot
-// of the ablation knobs. A Session runs one query at a time, but any
-// number of Sessions may evaluate concurrently over the same tag.Graph
-// — the TAG encoding is query-independent, so serving N queries means N
-// Sessions over one graph.
+// shared, frozen TAG graph: its own BSP engine (sparse inboxes, stats),
+// the subquery memoization caches, the decorrelation tables, and a
+// snapshot of the ablation knobs. A Session runs one query at a time,
+// but any number of Sessions may evaluate concurrently over the same
+// tag.Graph — the TAG encoding is query-independent, so serving N
+// queries means N Sessions over one graph. The engine's message plane
+// is sparse and pooled, so an idle Session holds O(active-frontier)
+// memory, not O(|V|), and building one is cheap enough to do on the
+// serving path.
 //
 // A Session is pinned to the graph it was created on, which must stay
 // frozen and unmutated for the Session's lifetime. Incremental
@@ -100,6 +103,11 @@ func (e *Session) Stats() bsp.Stats { return e.eng.Stats() }
 
 // ResetStats zeroes the accumulated cost measures.
 func (e *Session) ResetStats() { e.eng.ResetStats() }
+
+// InboxBytes reports the resident memory of this session's sparse BSP
+// message plane (live inbox entries plus pooled buffers); compare with
+// bsp.DenseInboxBytes for the dense O(|V|) plane it replaced.
+func (e *Session) InboxBytes() int64 { return e.eng.InboxBytes() }
 
 // Query parses, analyzes and executes a SQL string.
 func (e *Session) Query(query string) (*relation.Relation, error) {

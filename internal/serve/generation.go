@@ -29,10 +29,12 @@ type Generation struct {
 	onDrained func()
 }
 
-// newGeneration builds a generation over a frozen graph, eagerly
-// allocating its session pool (so the O(|V|) per-session engine setup
-// happens on the maintenance path, not the serving path). The returned
-// generation carries the publisher's reference.
+// newGeneration builds a generation over a frozen graph. Its session
+// pool starts empty and fills lazily: with the engine's sparse message
+// plane a session costs O(#workers) to build and O(active) to run, so
+// spinning sessions up on the serving path is cheap and a write burst
+// no longer pays pool-size × O(|V|) per published generation. The
+// returned generation carries the publisher's reference.
 func newGeneration(epoch uint64, g *tag.Graph, opts Options, onDrained func()) *Generation {
 	if !g.G.Frozen() {
 		g.G.Freeze()

@@ -64,6 +64,7 @@ type StatsResponse struct {
 	MaxMillis       float64 `json:"max_ms"`
 	Epoch           uint64  `json:"epoch"`
 	Swaps           int64   `json:"swaps"`
+	WriteOps        int64   `json:"write_ops"` // > swaps when coalescing shared publishes
 	GenerationsLive int64   `json:"generations_live"`
 	RowsInserted    int64   `json:"rows_inserted"`
 	RowsDeleted     int64   `json:"rows_deleted"`
@@ -171,6 +172,7 @@ func handler(s *Server, readOnly bool) http.Handler {
 			MaxMillis:       ms(st.MaxTime),
 			Epoch:           st.Epoch,
 			Swaps:           st.Swaps,
+			WriteOps:        st.WriteOps,
 			GenerationsLive: st.GenerationsLive,
 			RowsInserted:    st.RowsInserted,
 			RowsDeleted:     st.RowsDeleted,

@@ -1,42 +1,77 @@
 package serve
 
 import (
+	"sync/atomic"
+
 	"repro/internal/bsp"
 	"repro/internal/core"
 	"repro/internal/tag"
 )
 
-// Pool is a fixed-size pool of core.Sessions over one shared frozen TAG
-// graph. Sessions are created eagerly so the per-session engine
-// allocations (inbox arrays sized to the graph) happen once at startup,
-// not on the serving path.
+// Pool is a bounded, lazily-filled pool of core.Sessions over one
+// shared frozen TAG graph. Sessions are created on first demand, up to
+// size, and reused afterwards. With the sparse message plane a fresh
+// session costs O(#workers) rather than O(|V|), so a generation can
+// start with zero sessions and warm up as queries arrive — publishing
+// a write batch no longer pays `size` × O(|V|) inbox arrays up front.
 type Pool struct {
-	free chan *core.Session
+	g      *tag.Graph
+	engine bsp.Options
+
+	free    chan *core.Session // sessions built and idle
+	slots   chan struct{}      // remaining build budget
+	created atomic.Int64
 }
 
-// NewPool builds size sessions over g.
+// NewPool bounds the pool at size sessions over g; none are built yet.
 func NewPool(g *tag.Graph, engine bsp.Options, size int) *Pool {
 	if size <= 0 {
 		size = 1
 	}
-	p := &Pool{free: make(chan *core.Session, size)}
+	p := &Pool{
+		g:      g,
+		engine: engine,
+		free:   make(chan *core.Session, size),
+		slots:  make(chan struct{}, size),
+	}
 	for i := 0; i < size; i++ {
-		p.free <- core.NewSession(g, engine)
+		p.slots <- struct{}{}
 	}
 	return p
 }
 
-// Acquire blocks until a session is free and returns it. The caller owns
-// the session exclusively until Release.
+// Acquire returns an idle session, builds one if the pool is below its
+// bound, or blocks until a session is free. The caller owns the session
+// exclusively until Release.
 func (p *Pool) Acquire() *core.Session {
-	return <-p.free
+	select {
+	case s := <-p.free:
+		return s
+	default:
+	}
+	select {
+	case s := <-p.free:
+		return s
+	case <-p.slots:
+		p.created.Add(1)
+		return core.NewSession(p.g, p.engine)
+	}
 }
 
-// TryAcquire returns a free session or nil without blocking.
+// TryAcquire returns a session (idle or newly built within the bound)
+// or nil without blocking.
 func (p *Pool) TryAcquire() *core.Session {
 	select {
 	case s := <-p.free:
 		return s
+	default:
+	}
+	select {
+	case s := <-p.free:
+		return s
+	case <-p.slots:
+		p.created.Add(1)
+		return core.NewSession(p.g, p.engine)
 	default:
 		return nil
 	}
@@ -49,3 +84,6 @@ func (p *Pool) Release(s *core.Session) {
 
 // Size returns the pool capacity.
 func (p *Pool) Size() int { return cap(p.free) }
+
+// Created returns how many sessions the pool has actually built.
+func (p *Pool) Created() int { return int(p.created.Load()) }

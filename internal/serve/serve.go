@@ -78,6 +78,7 @@ type Stats struct {
 	// Write/maintenance activity (the generation scheme).
 	Epoch           uint64 // epoch of the currently served generation (filled at snapshot time)
 	Swaps           int64  // generations published since startup
+	WriteOps        int64  // write ops applied (> Swaps when coalescing shares a publish)
 	RowsInserted    int64  // rows applied through the Maintainer
 	RowsDeleted     int64  // rows removed through the Maintainer
 	GenerationsLive int64  // published but not yet drained generations
@@ -111,10 +112,14 @@ type Server struct {
 	gen  atomic.Pointer[Generation]
 	live atomic.Int64 // published, not-yet-drained generations
 
-	// writeMu serializes writers: one clone/apply/publish at a time, so
-	// generations form a chain and no write is lost to a racing sibling
-	// clone. Readers never take it.
+	// writeMu is the writer leader lock: one clone/apply/publish cycle
+	// at a time, so generations form a chain and no write is lost to a
+	// racing sibling clone. Readers never take it. Writers that pile up
+	// behind it enqueue on writeQ first; the lock holder drains the
+	// whole queue into its cycle (group commit).
 	writeMu sync.Mutex
+	queueMu sync.Mutex
+	writeQ  []*queuedWrite
 
 	prepared preparedCache
 
@@ -165,10 +170,11 @@ func (s *Server) acquireGen() *Generation {
 	}
 }
 
-// publish installs g as the next generation. Must be called with writeMu
-// held (Maintainer does); the epoch is derived from the head at swap
-// time, which the lock keeps stable.
-func (s *Server) publish(g *tag.Graph, inserted, deleted int) *Generation {
+// publish installs g as the next generation, carrying ops coalesced
+// write ops. Must be called with writeMu held (Maintainer does); the
+// epoch is derived from the head at swap time, which the lock keeps
+// stable.
+func (s *Server) publish(g *tag.Graph, ops, inserted, deleted int) *Generation {
 	old := s.gen.Load()
 	gen := newGeneration(old.Epoch+1, g, s.opts, func() { s.live.Add(-1) })
 	s.live.Add(1)
@@ -177,6 +183,7 @@ func (s *Server) publish(g *tag.Graph, inserted, deleted int) *Generation {
 
 	s.statsMu.Lock()
 	s.stats.Swaps++
+	s.stats.WriteOps += int64(ops)
 	s.stats.RowsInserted += int64(inserted)
 	s.stats.RowsDeleted += int64(deleted)
 	s.statsMu.Unlock()

@@ -28,20 +28,12 @@ func (t *Graph) InsertTuple(table string, row relation.Tuple) (bsp.VertexID, err
 // copy-on-write Clone of the served graph and atomically publishes the
 // result as the next generation.
 func (t *Graph) InsertBatch(table string, rows []relation.Tuple) ([]bsp.VertexID, error) {
+	if err := t.ValidateInsert(table, rows); err != nil {
+		return nil, err
+	}
 	table = strings.ToLower(table)
-	vLbl, ok := t.tupleLabel[table]
-	if !ok {
-		return nil, fmt.Errorf("tag: unknown relation %q", table)
-	}
+	vLbl := t.tupleLabel[table]
 	rel := t.Catalog.Get(table)
-	if rel == nil {
-		return nil, fmt.Errorf("tag: unknown relation %q", table)
-	}
-	for _, row := range rows {
-		if len(row) != rel.Schema.Len() {
-			return nil, fmt.Errorf("tag: bad arity for %q", table)
-		}
-	}
 	if len(rows) == 0 {
 		return nil, nil
 	}
@@ -78,6 +70,29 @@ func (t *Graph) InsertBatch(table string, rows []relation.Tuple) ([]bsp.VertexID
 	}
 	t.G.Freeze()
 	return out, nil
+}
+
+// ValidateInsert checks everything InsertBatch would reject — the
+// relation exists, every row matches its arity — without mutating
+// anything. InsertBatch runs it before touching the graph, so a failed
+// insert leaves the graph unchanged; the serving layer's write
+// coalescer runs it up front so a bad op can be skipped while the rest
+// of a coalesced batch proceeds on the shared clone.
+func (t *Graph) ValidateInsert(table string, rows []relation.Tuple) error {
+	table = strings.ToLower(table)
+	if _, ok := t.tupleLabel[table]; !ok {
+		return fmt.Errorf("tag: unknown relation %q", table)
+	}
+	rel := t.Catalog.Get(table)
+	if rel == nil {
+		return fmt.Errorf("tag: unknown relation %q", table)
+	}
+	for _, row := range rows {
+		if len(row) != rel.Schema.Len() {
+			return fmt.Errorf("tag: bad arity for %q", table)
+		}
+	}
+	return nil
 }
 
 // attrVertexForIncremental is attrVertexFor usable after Build (the
