@@ -17,12 +17,17 @@
 //	engine      the BSP message plane: superstep throughput and
 //	            per-session inbox memory, sharded parallel merge vs the
 //	            serial merge, at 1/4/16 workers
+//	combine     message-plane combiners: Send-time folding vs
+//	            materializing every message on aggregate-heavy queries
+//	            (wall time, merge time, peak inbox bytes, fold counters)
 //	all         everything above
 //
-// Flags -json <path> writes the structured results of the experiments
-// that ran (QPS, supersteps, bytes, ns/op) as a machine-readable
-// BENCH_*.json file; -quick shrinks scales, runs and measurement
-// windows so a CI smoke pass finishes in seconds.
+// -exp accepts a comma-separated list (e.g. -exp engine,combine); an
+// unknown name is an error listing the valid experiments. Flags -json
+// <path> writes the structured results of the experiments that ran
+// (QPS, supersteps, bytes, ns/op) as a machine-readable BENCH_*.json
+// file; -quick shrinks scales, runs and measurement windows so a CI
+// smoke pass finishes in seconds.
 package main
 
 import (
@@ -38,7 +43,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|all")
+	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
@@ -68,25 +73,54 @@ func main() {
 	// experiment name, for -json.
 	report := map[string]any{}
 
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
+	// The experiment registry, in run order. An -exp name not in it is
+	// an error, not a silent no-op run of zero experiments.
+	experiments := []struct {
+		name string
+		fn   func() error
+	}{
+		{"load", func() error { return runLoad(cfg, report) }},
+		{"tpch", func() error { return runWorkload(cfg, "tpch", report) }},
+		{"tpcds", func() error { return runWorkload(cfg, "tpcds", report) }},
+		{"memory", func() error { return runMemory(cfg, report) }},
+		{"distributed", func() error { return runDistributed(cfg, report) }},
+		{"ablation", func() error { return runAblation(cfg, report) }},
+		{"serve", func() error { return runServe(cfg, *quick, report) }},
+		{"maintain", func() error { return runMaintain(cfg, *quick, report) }},
+		{"engine", func() error { return runEngine(cfg, *quick, report) }},
+		{"combine", func() error { return runCombine(cfg, *quick, report) }},
+	}
+	valid := map[string]bool{"all": true}
+	var names []string
+	for _, e := range experiments {
+		valid[e.name] = true
+		names = append(names, e.name)
+	}
+	requested := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
 		}
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		if !valid[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s or all\n", name, strings.Join(names, "|"))
+			os.Exit(2)
+		}
+		requested[name] = true
+	}
+	if len(requested) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment requested; valid: %s or all\n", strings.Join(names, "|"))
+		os.Exit(2)
+	}
+	for _, e := range experiments {
+		if !requested["all"] && !requested[e.name] {
+			continue
+		}
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
 			os.Exit(1)
 		}
 	}
-
-	run("load", func() error { return runLoad(cfg, report) })
-	run("tpch", func() error { return runWorkload(cfg, "tpch", report) })
-	run("tpcds", func() error { return runWorkload(cfg, "tpcds", report) })
-	run("memory", func() error { return runMemory(cfg, report) })
-	run("distributed", func() error { return runDistributed(cfg, report) })
-	run("ablation", func() error { return runAblation(cfg, report) })
-	run("serve", func() error { return runServe(cfg, *quick, report) })
-	run("maintain", func() error { return runMaintain(cfg, *quick, report) })
-	run("engine", func() error { return runEngine(cfg, *quick, report) })
 
 	if *jsonPath != "" {
 		payload := map[string]any{
@@ -109,6 +143,26 @@ func main() {
 		}
 		fmt.Fprintf(cfg.Out, "\nwrote %s\n", *jsonPath)
 	}
+}
+
+func runCombine(cfg bench.Config, quick bool, report map[string]any) error {
+	workerCounts := []int{1, 4}
+	workloads := []string{"tpch", "tpcds"}
+	if quick {
+		workerCounts = []int{1}
+		workloads = []string{"tpch"}
+	}
+	var all []bench.CombineResult
+	for _, workload := range workloads {
+		res, err := bench.CombineBench(cfg, workload, workerCounts)
+		if err != nil {
+			return err
+		}
+		bench.PrintCombine(cfg.Out, res)
+		all = append(all, res...)
+	}
+	report["combine"] = all
+	return nil
 }
 
 func runEngine(cfg bench.Config, quick bool, report map[string]any) error {

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/tag"
+)
+
+// TestCombinedMatchesUncombinedTPCH is the end-to-end cross-check of
+// Send-time combining, the same way PR 3 cross-checked SerialMerge:
+// every TPC-H query under a simulated partitioning must produce
+// byte-identical answers (same rows in the same order) and exactly
+// equal paper-facing cost measures whether the message plane folds
+// aggregator-bound sends or materializes every message. The fold
+// itself must show up on the aggregate-heavy suite.
+func TestCombinedMatchesUncombinedTPCH(t *testing.T) {
+	cat := generate("tpch", 0.2, 2021)
+	g, err := tag.Build(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalCombined int64
+	for _, q := range WorkloadQueries("tpch") {
+		plain := core.NewSession(g, bsp.Options{Workers: 4, Partitions: 6, NoCombine: true})
+		combined := core.NewSession(g, bsp.Options{Workers: 4, Partitions: 6})
+
+		wantRows, err1 := plain.Query(q.SQL)
+		gotRows, err2 := combined.Query(q.SQL)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error mismatch: plain=%v combined=%v", q.ID, err1, err2)
+		}
+		if err1 != nil {
+			t.Fatalf("%s: %v", q.ID, err1)
+		}
+		want := fmt.Sprintf("%v", wantRows.Tuples)
+		got := fmt.Sprintf("%v", gotRows.Tuples)
+		if got != want {
+			t.Errorf("%s: combined answer differs from uncombined (rows or order)", q.ID)
+		}
+		ps, cs := plain.Stats(), combined.Stats()
+		if ps.Paper() != cs.Paper() {
+			t.Errorf("%s: paper-facing stats differ:\n  plain    %v\n  combined %v", q.ID, ps, cs)
+		}
+		if ps.MessagesCombined != 0 {
+			t.Errorf("%s: NoCombine session folded %d messages", q.ID, ps.MessagesCombined)
+		}
+		if cs.InboxBytesSaved < cs.MessagesCombined*24 {
+			t.Errorf("%s: saved bytes %d below the Message-slot floor for %d folds",
+				q.ID, cs.InboxBytesSaved, cs.MessagesCombined)
+		}
+		totalCombined += cs.MessagesCombined
+	}
+	if totalCombined == 0 {
+		t.Error("no TPC-H query folded a single message; combiners are not wired in")
+	}
+}
+
+// TestCombineBenchSmoke: the combiner experiment runs end to end at a
+// small scale and reports internally consistent cells.
+func TestCombineBenchSmoke(t *testing.T) {
+	cfg := Config{Scales: []float64{0.05}, Runs: 1, Workers: 1}
+	res, err := CombineBench(cfg, "tpch", []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	byCell := map[string]CombineResult{}
+	foldedSomewhere := false
+	for _, r := range res {
+		if r.NsPerOp <= 0 || r.Messages <= 0 || r.PeakInboxBytes <= 0 {
+			t.Errorf("%s/%d/%s: non-positive measurements %+v", r.Query, r.Workers, r.Mode, r)
+		}
+		switch r.Mode {
+		case "nocombine":
+			if r.MessagesCombined != 0 || r.InboxBytesSaved != 0 {
+				t.Errorf("%s: uncombined cell reports fold activity %+v", r.Query, r)
+			}
+		case "combine":
+			if r.MessagesCombined > 0 {
+				foldedSomewhere = true
+			}
+		}
+		key := fmt.Sprintf("%s/%d", r.Query, r.Workers)
+		if prev, ok := byCell[key]; ok {
+			if prev.Messages != r.Messages {
+				t.Errorf("%s: modes disagree on logical messages (%d vs %d)", key, prev.Messages, r.Messages)
+			}
+			if prev.PeakInboxBytes < r.PeakInboxBytes {
+				t.Errorf("%s: combined peak inbox %d exceeds uncombined %d", key, r.PeakInboxBytes, prev.PeakInboxBytes)
+			}
+		} else {
+			byCell[key] = r
+		}
+	}
+	if !foldedSomewhere {
+		t.Error("no combine cell folded any messages")
+	}
+}

@@ -1,0 +1,283 @@
+package bsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// sumProgram exercises the combined plane: active vertices send a
+// deterministic pseudo-random int64 along every edge for a fixed number
+// of supersteps; receivers total their inbox — handling both plain and
+// folded payloads — and emit (vertex, total, logical count), output
+// that must be byte-identical whether or not the plane folded.
+type sumProgram struct {
+	lbl  LabelID
+	hops int
+}
+
+func (p *sumProgram) Combiner() Combiner { return SumCombiner{} }
+
+func (p *sumProgram) Compute(ctx *Context, v VertexID, inbox []Message) {
+	ctx.AddOps(1 + InboxCount(inbox))
+	ctx.AddInt("visits", 1)
+	var total int64
+	for _, m := range inbox {
+		total += m.Payload.(int64)
+	}
+	if len(inbox) > 0 {
+		ctx.Emit([3]int64{int64(v), total, int64(InboxCount(inbox))})
+	}
+	if ctx.Step() < p.hops {
+		ctx.SendAlong(v, p.lbl, int64(int(v)*7+ctx.Step()*13)%100)
+	}
+}
+
+// TestCombinedMatchesUncombined is the engine-level property test:
+// random graph shapes run the same commutative-payload program with
+// the combiner enabled and disabled, across worker counts, simulated
+// partitionings and serial/sharded merge. The Emit stream, aggregators
+// and every paper-facing Stats field must be identical; only the
+// combine-plane bookkeeping may differ.
+func TestCombinedMatchesUncombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		n := 20 + rng.Intn(120)
+		k := 1 + rng.Intn(6)
+		hops := 2 + rng.Intn(3)
+		var initial []VertexID
+		for len(initial) < 4 {
+			v := VertexID(rng.Intn(n))
+			initial = append(initial, v)
+		}
+
+		// Base: uncombined, serial, single worker.
+		g, lbl := meshGraph(n, k)
+		base := NewEngine(g, Options{Workers: 1, SerialMerge: true, NoCombine: true})
+		baseStats := base.Run(&sumProgram{lbl: lbl, hops: hops}, initial)
+		baseEmit := append([]any(nil), base.Emitted()...)
+		baseAgg := base.AggInt("visits")
+		if baseStats.MessagesCombined != 0 || baseStats.InboxBytesSaved != 0 {
+			t.Fatalf("trial %d: NoCombine run reported combine activity: %v", trial, baseStats)
+		}
+
+		for _, cfg := range []struct {
+			workers, partitions int
+			serial, noCombine   bool
+		}{
+			{1, 1, false, false},
+			{2, 1, false, false},
+			{8, 1, true, false},
+			{4, 3, false, false},
+			{4, 3, true, false},
+			{4, 3, false, true},
+			{8, 1, false, false},
+		} {
+			g, lbl := meshGraph(n, k)
+			eng := NewEngine(g, Options{
+				Workers: cfg.workers, Partitions: cfg.partitions,
+				SerialMerge: cfg.serial, NoCombine: cfg.noCombine,
+			})
+			stats := eng.Run(&sumProgram{lbl: lbl, hops: hops}, initial)
+			if cfg.partitions == 1 {
+				if got, want := stats.Paper(), baseStats.Paper(); got != want {
+					t.Errorf("trial %d %+v: stats %v != base %v", trial, cfg, got, want)
+				}
+			} else if stats.Paper().Messages != baseStats.Messages || stats.Paper().ComputeOps != baseStats.ComputeOps {
+				t.Errorf("trial %d %+v: cost %v diverged from base %v", trial, cfg, stats, baseStats)
+			}
+			if agg := eng.AggInt("visits"); agg != baseAgg {
+				t.Errorf("trial %d %+v: agg %d != %d", trial, cfg, agg, baseAgg)
+			}
+			emitted := eng.Emitted()
+			if len(emitted) != len(baseEmit) {
+				t.Fatalf("trial %d %+v: %d emits, want %d", trial, cfg, len(emitted), len(baseEmit))
+			}
+			for j := range emitted {
+				if emitted[j] != baseEmit[j] {
+					t.Fatalf("trial %d %+v: emit[%d] = %v, want %v", trial, cfg, j, emitted[j], baseEmit[j])
+				}
+			}
+			if !cfg.noCombine && k > 1 && stats.MessagesCombined == 0 {
+				t.Errorf("trial %d %+v: dense fan-in folded nothing", trial, cfg)
+			}
+			if cfg.noCombine && stats.MessagesCombined != 0 {
+				t.Errorf("trial %d %+v: NoCombine folded %d messages", trial, cfg, stats.MessagesCombined)
+			}
+		}
+	}
+}
+
+// TestCombineAccounting pins the fold bookkeeping on a star graph: n
+// leaves send one int64 to the root, so any worker count must deliver
+// exactly one message representing n logical sends, with n-1 folds and
+// n-1 Message slots saved.
+func TestCombineAccounting(t *testing.T) {
+	const n = 12
+	build := func() (*Graph, LabelID, []VertexID) {
+		g := NewGraph()
+		lbl := g.Symbols.Intern("to-root")
+		root := g.AddVertex(lbl, nil)
+		var leaves []VertexID
+		for i := 0; i < n; i++ {
+			leaf := g.AddVertex(lbl, nil)
+			g.AddEdge(leaf, root, lbl)
+			leaves = append(leaves, leaf)
+		}
+		g.Freeze()
+		return g, lbl, leaves
+	}
+	for _, workers := range []int{1, 3, 8} {
+		g, lbl, leaves := build()
+		var got []any
+		prog := WithCombiner(ProgramFunc(func(ctx *Context, v VertexID, inbox []Message) {
+			if ctx.Step() == 0 {
+				ctx.SendAlong(v, lbl, int64(1))
+				return
+			}
+			for _, m := range inbox {
+				ctx.Emit([2]int64{m.Payload.(int64), int64(m.Count)})
+			}
+		}), SumCombiner{})
+		eng := NewEngine(g, Options{Workers: workers})
+		stats := eng.Run(prog, leaves)
+		got = append(got, eng.Emitted()...)
+
+		if stats.Messages != n {
+			t.Errorf("workers=%d: logical messages = %d, want %d", workers, stats.Messages, n)
+		}
+		if stats.MessagesCombined != n-1 {
+			t.Errorf("workers=%d: combined = %d, want %d", workers, stats.MessagesCombined, n-1)
+		}
+		if want := int64(n-1) * msgBytes; stats.InboxBytesSaved != want {
+			t.Errorf("workers=%d: saved = %d, want %d", workers, stats.InboxBytesSaved, want)
+		}
+		if len(got) != 1 || got[0] != ([2]int64{n, n}) {
+			t.Errorf("workers=%d: root saw %v, want one message totalling %d over %d sends", workers, got, n, n)
+		}
+	}
+}
+
+// slotCombiner folds int64s separately per parity, proving slots keep
+// independent fold streams to one destination apart.
+type slotCombiner struct{ SumCombiner }
+
+func (slotCombiner) Slot(payload any) int {
+	if payload.(int64) < 0 {
+		return -1 // opted out: delivered as a plain message
+	}
+	return int(payload.(int64) % 2)
+}
+
+func TestCombinerSlots(t *testing.T) {
+	g := NewGraph()
+	lbl := g.Symbols.Intern("e")
+	root := g.AddVertex(lbl, nil)
+	var leaves []VertexID
+	for i := 0; i < 6; i++ {
+		leaf := g.AddVertex(lbl, nil)
+		g.AddEdge(leaf, root, lbl)
+		leaves = append(leaves, leaf)
+	}
+	g.Freeze()
+
+	var inboxSizes []int
+	var sums []int64
+	prog := WithCombiner(ProgramFunc(func(ctx *Context, v VertexID, inbox []Message) {
+		if ctx.Step() == 0 {
+			// Evens fold in slot 0, odds in slot 1, and one opted-out
+			// plain message (-1) rides alongside.
+			ctx.SendAlong(v, lbl, int64(v)%2+2) // 2 or 3 → slots 0 and 1
+			if v == leaves[0] {
+				ctx.SendAlong(v, lbl, int64(-1))
+			}
+			return
+		}
+		inboxSizes = append(inboxSizes, len(inbox))
+		for _, m := range inbox {
+			sums = append(sums, m.Payload.(int64))
+		}
+	}), slotCombiner{})
+	eng := NewEngine(g, Options{Workers: 1})
+	eng.Run(prog, leaves)
+
+	// One plain message first, then one combined message per slot.
+	if len(inboxSizes) != 1 || inboxSizes[0] != 3 {
+		t.Fatalf("inbox sizes = %v, want [3]", inboxSizes)
+	}
+	if sums[0] != -1 {
+		t.Errorf("plain message must deliver before combined ones: %v", sums)
+	}
+	if sums[1]+sums[2] != 3*2+3*3 || sums[1] == sums[2] {
+		t.Errorf("per-slot sums = %v, want {6,9} in some order", sums[1:])
+	}
+}
+
+// TestCombinePoolTrim: a run whose fold tables and wire records grow
+// far past the pooling budget must not keep that peak resident once
+// idle — the combiner storage obeys the same end-of-Run budget as the
+// message buffers.
+func TestCombinePoolTrim(t *testing.T) {
+	g := NewGraph()
+	lbl := g.Symbols.Intern("to-hub")
+	hub := g.AddVertex(lbl, nil)
+	var leaves []VertexID
+	for i := 0; i < 5000; i++ {
+		leaf := g.AddVertex(lbl, nil)
+		g.AddEdge(leaf, hub, lbl)
+		leaves = append(leaves, leaf)
+	}
+	g.Freeze()
+	prog := WithCombiner(ProgramFunc(func(ctx *Context, v VertexID, inbox []Message) {
+		if ctx.Step() == 0 {
+			ctx.SendAlong(v, lbl, int64(1))
+		}
+	}), SumCombiner{})
+	// Partitions > 1 so every cross-partition send records a wireRec —
+	// the structure that actually grows with the fan-in.
+	eng := NewEngine(g, Options{Workers: 2, Partitions: 3})
+	eng.Run(prog, leaves)
+	budget := int64(maxPooledBytes / len(eng.shards))
+	for s := range eng.shards {
+		if got := int64(cap(eng.shards[s].pendKeys)) * accBytes; got > budget {
+			t.Errorf("shard %d retains %d B of pending accumulators (budget %d)", s, got, budget)
+		}
+	}
+	for w, ctx := range eng.ctxs {
+		for s := range ctx.acc {
+			if got := int64(cap(ctx.acc[s].keys)) * accBytes; got > budget {
+				t.Errorf("ctx %d shard %d retains %d B of fold streams (budget %d)", w, s, got, budget)
+			}
+			if got := int64(cap(ctx.wires[s])) * accBytes; got > budget {
+				t.Errorf("ctx %d shard %d retains %d B of wire records (budget %d)", w, s, got, budget)
+			}
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocCombined: the accumulator tables, fold-stream
+// indexes and pending lists all join the engine's pools, so a warm
+// single-worker Run with a combiner still allocates nothing. (Payloads
+// are small int64s, which Go boxes from its static cache.)
+func TestSteadyStateZeroAllocCombined(t *testing.T) {
+	g, lbl := meshGraph(64, 3)
+	eng := NewEngine(g, Options{Workers: 1})
+	// A folding program without Emit (boxing emitted values allocates in
+	// the program, not the engine).
+	var sink int64
+	prog := WithCombiner(ProgramFunc(func(ctx *Context, v VertexID, inbox []Message) {
+		ctx.AddOps(1 + InboxCount(inbox))
+		for _, m := range inbox {
+			sink += m.Payload.(int64)
+		}
+		if ctx.Step() < 3 {
+			ctx.SendAlong(v, lbl, int64(1))
+		}
+	}), SumCombiner{})
+	initial := []VertexID{0, 1, 2, 3}
+	eng.Run(prog, initial)
+	eng.Run(prog, initial)
+	allocs := testing.AllocsPerRun(10, func() { eng.Run(prog, initial) })
+	if allocs > 0 {
+		t.Errorf("steady-state combined Run allocates %.1f times, want 0", allocs)
+	}
+}

@@ -5,13 +5,39 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 )
 
 // Message is delivered to a vertex at the start of the superstep after it
 // was sent, per the BSP discipline of §2.
+//
+// When the running program declares a Combiner, messages bound for the
+// same (destination, slot) are folded into one delivered Message whose
+// Payload is the accumulated value: From is the first folded sender (in
+// delivery order) and Count is the number of logical sends the message
+// represents. Uncombined deliveries carry Count == 1. Programs that
+// account per-message work should use InboxCount rather than
+// len(inbox), which keeps the paper's ComputeOps measure identical
+// whether or not the plane folded.
 type Message struct {
 	From    VertexID
+	Count   int32
 	Payload any
+}
+
+// InboxCount returns the number of logical messages an inbox
+// represents: combined messages count every send folded into them. A
+// zero Count (a Message built by hand) counts as one.
+func InboxCount(inbox []Message) int {
+	n := 0
+	for i := range inbox {
+		if c := int(inbox[i].Count); c > 1 {
+			n += c
+		} else {
+			n++
+		}
+	}
+	return n
 }
 
 // Program is a vertex program: Compute runs once per active vertex per
@@ -43,6 +69,111 @@ type ProgramFunc func(ctx *Context, v VertexID, inbox []Message)
 // Compute implements Program.
 func (f ProgramFunc) Compute(ctx *Context, v VertexID, inbox []Message) { f(ctx, v, inbox) }
 
+// Combiner folds the payloads of messages bound for the same
+// (destination vertex, slot) into one accumulated payload, the
+// Pregel-style message combiner. The engine applies it at two points:
+// at Send time into a per-(shard, destination, slot) accumulator in the
+// sending worker's outbox, and after the compute barrier when the shard
+// merge folds colliding accumulators from different workers — so a
+// sparse inbox carries at most one Message per (active vertex, slot).
+//
+// The fold must be insensitive to regrouping of the send stream
+// (commutative/associative in spirit), but the engine never actually
+// reorders it: payloads are folded in exactly the (worker, send) order
+// the uncombined plane would have delivered them in, so a Combiner
+// that mirrors the receiving vertex's own left-fold produces
+// byte-identical results even for order-sensitive operations like
+// float addition.
+//
+// Fold and Merge are called concurrently from different workers, but
+// always on distinct accumulators; implementations must not keep
+// shared mutable state. The engine's paper-facing cost counters
+// (Messages, MessageBytes, NetworkMessages, ComputeOps via InboxCount)
+// are unaffected by folding; the folding itself is reported in
+// Stats.MessagesCombined and Stats.InboxBytesSaved.
+type Combiner interface {
+	// Slot classifies a payload into an independent fold stream:
+	// payloads in different slots never fold together and arrive as
+	// separate messages. Programs that send one kind of message per
+	// superstep return 0. A negative slot opts the payload out of
+	// combining entirely (it is delivered as a plain message, before
+	// any combined messages for the same destination).
+	Slot(payload any) int
+	// Fold merges one sent payload into the accumulator and returns
+	// the new accumulator; acc is nil for the first send. from is the
+	// sending vertex.
+	Fold(acc any, from VertexID, payload any) any
+	// Merge folds another worker's accumulator (a value previously
+	// returned by Fold) into acc and returns the result.
+	Merge(acc, other any) any
+}
+
+// CombinerProvider is an optional Program extension: a program whose
+// messages may be folded en route returns its Combiner (nil disables
+// combining for the run, as does Options.NoCombine).
+type CombinerProvider interface {
+	Combiner() Combiner
+}
+
+// WithCombiner attaches a combiner to a program that cannot implement
+// CombinerProvider itself (e.g. a ProgramFunc closure). The wrapper
+// forwards MasterProgram to the wrapped program if it implements it.
+func WithCombiner(p Program, c Combiner) Program {
+	return &combinedProgram{prog: p, comb: c}
+}
+
+type combinedProgram struct {
+	prog Program
+	comb Combiner
+}
+
+func (c *combinedProgram) Compute(ctx *Context, v VertexID, inbox []Message) {
+	c.prog.Compute(ctx, v, inbox)
+}
+
+func (c *combinedProgram) Combiner() Combiner { return c.comb }
+
+func (c *combinedProgram) BeforeSuperstep(step int, eng *Engine) bool {
+	if m, ok := c.prog.(MasterProgram); ok {
+		return m.BeforeSuperstep(step, eng)
+	}
+	return true
+}
+
+// SignalCombiner combines pure-signal messages — sends whose payload
+// the receiver never reads (activation pings, nil payloads) — into one
+// nil-payload message per destination. The logical send count survives
+// in Message.Count.
+type SignalCombiner struct{}
+
+// Slot implements Combiner.
+func (SignalCombiner) Slot(any) int { return 0 }
+
+// Fold implements Combiner; the accumulator stays nil.
+func (SignalCombiner) Fold(acc any, _ VertexID, _ any) any { return acc }
+
+// Merge implements Combiner.
+func (SignalCombiner) Merge(acc, _ any) any { return acc }
+
+// SumCombiner combines int64 payloads by addition — the canonical
+// COUNT/SUM message combiner for programs whose receivers only total
+// their inbox.
+type SumCombiner struct{}
+
+// Slot implements Combiner.
+func (SumCombiner) Slot(any) int { return 0 }
+
+// Fold implements Combiner.
+func (SumCombiner) Fold(acc any, _ VertexID, payload any) any {
+	if acc == nil {
+		return payload.(int64)
+	}
+	return acc.(int64) + payload.(int64)
+}
+
+// Merge implements Combiner.
+func (SumCombiner) Merge(acc, other any) any { return acc.(int64) + other.(int64) }
+
 // Options configures an Engine run.
 type Options struct {
 	// Workers is the thread parallelism degree; defaults to GOMAXPROCS.
@@ -66,6 +197,18 @@ type Options struct {
 	// so benchmarks and cross-check tests can compare the serial and
 	// sharded message planes.
 	SerialMerge bool
+	// NoCombine disables Send-time message folding even when the
+	// program declares a Combiner. Rows, Emit output and the
+	// paper-facing Stats (compare with Stats.Paper) are identical
+	// either way — the flag exists so cross-check tests and the
+	// `tagbench -exp combine` ablation can measure the fold.
+	NoCombine bool
+	// Profile collects message-plane profiling: the peak resident
+	// inbox bytes observed at any barrier (Engine.PeakInboxBytes) and
+	// the cumulative wall time of the communication stage
+	// (Engine.MergeDuration). Off by default — the peak probe walks
+	// the inbox maps once per superstep.
+	Profile bool
 }
 
 func (o Options) withDefaults() Options {
@@ -93,12 +236,19 @@ func (o Options) withDefaults() Options {
 // cross-partition (network) accounting.
 type Stats struct {
 	Supersteps      int
-	Messages        int64
+	Messages        int64 // logical sends — combining never changes this (the paper's M)
 	MessageBytes    int64
 	NetworkMessages int64 // messages crossing partition boundaries
 	NetworkBytes    int64
 	ComputeOps      int64
 	ActiveVisits    int64 // total vertex activations over all supersteps
+
+	// Combine-plane bookkeeping (zero when no Combiner ran). These are
+	// the only fields that may differ between a combined and an
+	// uncombined run of the same program — compare Paper() for the
+	// rest.
+	MessagesCombined int64 // logical sends folded into an existing accumulator
+	InboxBytesSaved  int64 // Message-slot bytes the folded sends never occupied
 }
 
 // Add accumulates other into s.
@@ -110,26 +260,41 @@ func (s *Stats) Add(other Stats) {
 	s.NetworkBytes += other.NetworkBytes
 	s.ComputeOps += other.ComputeOps
 	s.ActiveVisits += other.ActiveVisits
+	s.MessagesCombined += other.MessagesCombined
+	s.InboxBytesSaved += other.InboxBytesSaved
 }
 
 // Sub returns s - other, the delta between two cumulative snapshots
 // (e.g. one query's cost out of a session's running totals).
 func (s Stats) Sub(other Stats) Stats {
 	return Stats{
-		Supersteps:      s.Supersteps - other.Supersteps,
-		Messages:        s.Messages - other.Messages,
-		MessageBytes:    s.MessageBytes - other.MessageBytes,
-		NetworkMessages: s.NetworkMessages - other.NetworkMessages,
-		NetworkBytes:    s.NetworkBytes - other.NetworkBytes,
-		ComputeOps:      s.ComputeOps - other.ComputeOps,
-		ActiveVisits:    s.ActiveVisits - other.ActiveVisits,
+		Supersteps:       s.Supersteps - other.Supersteps,
+		Messages:         s.Messages - other.Messages,
+		MessageBytes:     s.MessageBytes - other.MessageBytes,
+		NetworkMessages:  s.NetworkMessages - other.NetworkMessages,
+		NetworkBytes:     s.NetworkBytes - other.NetworkBytes,
+		ComputeOps:       s.ComputeOps - other.ComputeOps,
+		ActiveVisits:     s.ActiveVisits - other.ActiveVisits,
+		MessagesCombined: s.MessagesCombined - other.MessagesCombined,
+		InboxBytesSaved:  s.InboxBytesSaved - other.InboxBytesSaved,
 	}
+}
+
+// Paper returns the paper-facing cost measures only: the combine-plane
+// bookkeeping is zeroed, so a combined run can be compared field by
+// field against an uncombined one — everything else must match
+// byte-for-byte.
+func (s Stats) Paper() Stats {
+	s.MessagesCombined = 0
+	s.InboxBytesSaved = 0
+	return s
 }
 
 // String renders the stats compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("supersteps=%d msgs=%d bytes=%d netMsgs=%d netBytes=%d ops=%d visits=%d",
-		s.Supersteps, s.Messages, s.MessageBytes, s.NetworkMessages, s.NetworkBytes, s.ComputeOps, s.ActiveVisits)
+	return fmt.Sprintf("supersteps=%d msgs=%d bytes=%d netMsgs=%d netBytes=%d ops=%d visits=%d combined=%d savedB=%d",
+		s.Supersteps, s.Messages, s.MessageBytes, s.NetworkMessages, s.NetworkBytes, s.ComputeOps, s.ActiveVisits,
+		s.MessagesCombined, s.InboxBytesSaved)
 }
 
 type outMsg struct {
@@ -144,6 +309,59 @@ type wire struct {
 	from VertexID
 	part int
 	pay  any
+}
+
+// wireRec is a logical cross-partition send recorded at Send time when
+// the payload folds into an accumulator (the dedup set is per-shard, so
+// the owning merge worker applies the record at the barrier). The size
+// is captured before folding can mutate the payload.
+type wireRec struct {
+	w  wire
+	sz int64
+}
+
+// accKey identifies one fold stream: a destination vertex and the
+// combiner-assigned slot.
+type accKey struct {
+	to   VertexID
+	slot int32
+}
+
+// accEntry is one running fold: the first sender (the From of the
+// delivered Message), the number of logical sends folded in, and the
+// accumulated payload.
+type accEntry struct {
+	from  VertexID
+	count int32
+	pay   any
+}
+
+// ctxAcc is a worker's per-destination-shard accumulator table: idx
+// maps fold streams to entries, keys preserves first-send order (the
+// order the shard merge folds and delivers in). All three are reused
+// across supersteps. last caches the most recent stream's index —
+// aggregator-bound programs send a worker's whole chunk to one
+// destination, so the common case skips the map probe.
+type ctxAcc struct {
+	idx     map[accKey]int32
+	keys    []accKey
+	entries []accEntry
+	last    int32 // index of the stream the previous send folded into; -1 when empty
+}
+
+// accBytes approximates the retained footprint of one fold stream
+// (key + entry + its share of map buckets) and of one wire record,
+// for the end-of-Run pooling budget.
+const accBytes = 48
+
+// trim drops the accumulator storage if its retained capacity outgrew
+// this shard's share of the pooling budget; a warm small run keeps its
+// storage (steady-state Runs stay zero-alloc), a huge run's peak goes
+// back to the GC with the frontier that needed it.
+func (a *ctxAcc) trim(budget int64) {
+	if int64(cap(a.keys))*accBytes > budget {
+		a.idx, a.keys, a.entries = nil, nil, nil
+	}
 }
 
 // mergeShard is one shard of the sharded message plane. During the
@@ -170,6 +388,13 @@ type mergeShard struct {
 	// the same shard, so no (source, destination-machine, payload)
 	// triple is ever split across shards.
 	sent map[wire]bool
+	// accIdx/pend/pendKeys fold colliding per-worker accumulators at
+	// the barrier (combined plane only): pend holds the surviving
+	// accumulator per fold stream in first-seen (worker, send) order,
+	// delivered as one Message each. Reused across supersteps.
+	accIdx   map[accKey]int32
+	pend     []accEntry
+	pendKeys []accKey
 	// stats is this shard's share of the superstep's message
 	// accounting; the coordinator folds it into Engine.stats at the
 	// barrier.
@@ -262,9 +487,19 @@ type Engine struct {
 	ctxs   []*Context
 	active []VertexID
 
+	// comb is the running program's message combiner (nil when the
+	// program declares none or Options.NoCombine is set); fixed at the
+	// start of each Run, read by worker contexts during it.
+	comb Combiner
+
 	aggs   map[string]int64
 	emits  []any
 	halted bool
+
+	// Profiling (Options.Profile): peak resident inbox bytes observed
+	// at any barrier, and cumulative communication-stage wall time.
+	peakInbox int64
+	mergeNs   int64
 
 	// wg coordinates the compute and merge fan-outs; a field rather
 	// than a Run local so steady-state supersteps allocate nothing.
@@ -291,7 +526,13 @@ func NewEngine(g *Graph, opts Options) *Engine {
 		e.shards[s].next = make(map[VertexID][]Message)
 	}
 	for w := range e.ctxs {
-		e.ctxs[w] = &Context{eng: e, out: make([][]outMsg, opts.Workers), aggs: make(map[string]int64)}
+		e.ctxs[w] = &Context{
+			eng:   e,
+			out:   make([][]outMsg, opts.Workers),
+			acc:   make([]ctxAcc, opts.Workers),
+			wires: make([][]wireRec, opts.Workers),
+			aggs:  make(map[string]int64),
+		}
 	}
 	return e
 }
@@ -379,6 +620,16 @@ func (e *Engine) InboxBytes() int64 {
 // headers per engine, regardless of how many vertices were active.
 func DenseInboxBytes(n int) int64 { return int64(n) * 48 }
 
+// PeakInboxBytes returns the largest resident inbox footprint observed
+// at any barrier since the engine was created. Requires Options.Profile;
+// zero otherwise.
+func (e *Engine) PeakInboxBytes() int64 { return e.peakInbox }
+
+// MergeDuration returns the cumulative wall time of the communication
+// stage (outbox merge + accumulator folding) since the engine was
+// created. Requires Options.Profile; zero otherwise.
+func (e *Engine) MergeDuration() time.Duration { return time.Duration(e.mergeNs) }
+
 // Run executes prog starting from the initial active set until no vertex
 // is active, the master halts, or MaxSupersteps is reached. It returns the
 // stats for this run only (engine totals keep accumulating).
@@ -396,6 +647,13 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 
 	active := append(e.active[:0], initial...)
 	slices.Sort(active)
+
+	e.comb = nil
+	if !e.opts.NoCombine {
+		if cp, ok := prog.(CombinerProvider); ok {
+			e.comb = cp.Combiner()
+		}
+	}
 
 	master, hasMaster := prog.(MasterProgram)
 
@@ -447,6 +705,10 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 		// vertex's inbox happens in (worker, send) order — exactly the
 		// serial merge's order — so the stage is deterministic no matter
 		// how many goroutines run it.
+		var mergeStart time.Time
+		if e.opts.Profile {
+			mergeStart = time.Now()
+		}
 		if e.opts.SerialMerge || len(e.shards) == 1 {
 			for s := range e.shards {
 				e.mergeShard(s)
@@ -460,6 +722,12 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 				}(s)
 			}
 			e.wg.Wait()
+		}
+		if e.opts.Profile {
+			e.mergeNs += time.Since(mergeStart).Nanoseconds()
+			if b := e.InboxBytes(); b > e.peakInbox {
+				e.peakInbox = b
+			}
 		}
 
 		// Barrier: fold per-shard accounting, swap the message planes,
@@ -486,17 +754,36 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 			ctx.emits = ctx.emits[:0]
 			e.stats.ComputeOps += ctx.ops
 			ctx.ops = 0
+			// Send-time accounting of combined sends (uncombined sends
+			// are accounted by the shard merge).
+			e.stats.Add(ctx.stats)
+			ctx.stats = Stats{}
 		}
 		slices.Sort(active)
 	}
 
 	// Drop any undelivered messages so the next Run starts clean; their
 	// buffers go back to the free lists (bounded, so a huge run's peak
-	// frontier is not kept resident by an idle session).
+	// frontier is not kept resident by an idle session). The combiner's
+	// fold tables, wire records and pending lists obey the same budget:
+	// a warm steady-state run keeps them, a huge run's peak does not
+	// stay resident.
 	budget := int64(maxPooledBytes / len(e.shards))
 	for s := range e.shards {
-		e.shards[s].recycleIn()
-		e.shards[s].trimFree(budget)
+		sh := &e.shards[s]
+		sh.recycleIn()
+		sh.trimFree(budget)
+		if int64(cap(sh.pendKeys))*accBytes > budget {
+			sh.accIdx, sh.pend, sh.pendKeys = nil, nil, nil
+		}
+	}
+	for _, ctx := range e.ctxs {
+		for s := range ctx.acc {
+			ctx.acc[s].trim(budget)
+			if int64(cap(ctx.wires[s]))*accBytes > budget {
+				ctx.wires[s] = nil
+			}
+		}
 	}
 	e.active = active
 
@@ -530,7 +817,7 @@ func (e *Engine) mergeShard(s int) {
 				buf = sh.getBuf()
 				sh.nextKeys = append(sh.nextKeys, m.to)
 			}
-			sh.next[m.to] = append(buf, Message{From: m.from, Payload: m.payload})
+			sh.next[m.to] = append(buf, Message{From: m.from, Count: 1, Payload: m.payload})
 			sz := int64(e.opts.PayloadSize(m.payload))
 			sh.stats.Messages++
 			sh.stats.MessageBytes += sz
@@ -546,6 +833,74 @@ func (e *Engine) mergeShard(s int) {
 		}
 		ctx.out[s] = msgs[:0]
 	}
+	if e.comb != nil {
+		e.mergeCombined(s, sh)
+	}
+}
+
+// mergeCombined is the combined plane's half of the communication
+// stage for one shard: fold the workers' per-(destination, slot)
+// accumulators — colliding streams merge in worker order, exactly the
+// order the uncombined plane would have delivered in — apply the
+// cross-partition wire records recorded at Send time, and deliver one
+// Message per surviving fold stream. Combined messages land after any
+// plain (slot < 0) messages for the same destination.
+func (e *Engine) mergeCombined(s int, sh *mergeShard) {
+	partitions := e.opts.Partitions
+	for _, ctx := range e.ctxs {
+		a := &ctx.acc[s]
+		for i := range a.keys {
+			k := a.keys[i]
+			entry := &a.entries[i]
+			if j, ok := sh.accIdx[k]; ok {
+				tgt := &sh.pend[j]
+				tgt.pay = e.comb.Merge(tgt.pay, entry.pay)
+				tgt.count += entry.count
+				sh.stats.MessagesCombined++
+				sh.stats.InboxBytesSaved += msgBytes
+			} else {
+				if sh.accIdx == nil {
+					sh.accIdx = make(map[accKey]int32)
+				}
+				sh.accIdx[k] = int32(len(sh.pend))
+				sh.pend = append(sh.pend, *entry)
+				sh.pendKeys = append(sh.pendKeys, k)
+			}
+			*entry = accEntry{} // release payload references
+		}
+		a.keys = a.keys[:0]
+		a.entries = a.entries[:0]
+		a.last = -1
+		if len(a.idx) > 0 {
+			clear(a.idx)
+		}
+		wr := ctx.wires[s]
+		for i := range wr {
+			if partitions > 1 && !sh.sent[wr[i].w] {
+				sh.sent[wr[i].w] = true
+				sh.stats.NetworkMessages++
+				sh.stats.NetworkBytes += wr[i].sz
+			}
+			wr[i] = wireRec{}
+		}
+		ctx.wires[s] = wr[:0]
+	}
+	for i := range sh.pend {
+		p := &sh.pend[i]
+		k := sh.pendKeys[i]
+		buf, ok := sh.next[k.to]
+		if !ok {
+			buf = sh.getBuf()
+			sh.nextKeys = append(sh.nextKeys, k.to)
+		}
+		sh.next[k.to] = append(buf, Message{From: p.from, Count: p.count, Payload: p.pay})
+		*p = accEntry{}
+	}
+	sh.pend = sh.pend[:0]
+	sh.pendKeys = sh.pendKeys[:0]
+	if len(sh.accIdx) > 0 {
+		clear(sh.accIdx)
+	}
 }
 
 // Context is the per-worker view handed to Compute. All methods are safe
@@ -553,7 +908,10 @@ func (e *Engine) mergeShard(s int) {
 type Context struct {
 	eng   *Engine
 	step  int
-	out   [][]outMsg // one outbox per destination merge shard
+	out   [][]outMsg  // one outbox per destination merge shard
+	acc   []ctxAcc    // one fold table per destination merge shard (combined plane)
+	wires [][]wireRec // cross-partition sends recorded for the shard's dedup set
+	stats Stats       // send-time accounting of combined sends
 	aggs  map[string]int64
 	emits []any
 	ops   int64
@@ -569,9 +927,60 @@ func (c *Context) Step() int { return c.step }
 // message any vertex whose id they know (§2). The message lands in the
 // outbox of the shard that owns the destination, so the post-barrier
 // merge can run shard-parallel without locks.
+//
+// When the running program declares a Combiner, the payload folds into
+// this worker's per-(shard, destination, slot) accumulator instead of
+// occupying an outbox slot: a worker emits at most one combined message
+// per fold stream per superstep. The paper-facing cost measures still
+// count the logical send (the message "happened"; the engine just never
+// materializes it).
 func (c *Context) Send(from, to VertexID, payload any) {
 	s := c.eng.shardOf(to)
+	if comb := c.eng.comb; comb != nil {
+		if slot := comb.Slot(payload); slot >= 0 {
+			c.sendCombined(comb, s, slot, from, to, payload)
+			return
+		}
+	}
 	c.out[s] = append(c.out[s], outMsg{from: from, to: to, payload: payload})
+}
+
+// sendCombined folds one logical send into the worker-local accumulator
+// of its (shard, destination, slot) stream, accounting the send as if it
+// had been materialized.
+func (c *Context) sendCombined(comb Combiner, s, slot int, from, to VertexID, payload any) {
+	opts := &c.eng.opts
+	sz := int64(opts.PayloadSize(payload))
+	c.stats.Messages++
+	c.stats.MessageBytes += sz
+	if opts.Partitions > 1 && opts.PartitionOf(from) != opts.PartitionOf(to) {
+		// The network dedup set is owned by the destination shard's
+		// merge worker; record the logical wire transfer for it.
+		c.wires[s] = append(c.wires[s], wireRec{w: wire{from: from, part: opts.PartitionOf(to), pay: payload}, sz: sz})
+	}
+	a := &c.acc[s]
+	k := accKey{to: to, slot: int32(slot)}
+	i := a.last
+	if i < 0 || int(i) >= len(a.keys) || a.keys[i] != k {
+		var ok bool
+		if i, ok = a.idx[k]; !ok {
+			if a.idx == nil {
+				a.idx = make(map[accKey]int32)
+			}
+			i = int32(len(a.entries))
+			a.idx[k] = i
+			a.keys = append(a.keys, k)
+			a.entries = append(a.entries, accEntry{from: from, count: 1, pay: comb.Fold(nil, from, payload)})
+			a.last = i
+			return
+		}
+	}
+	a.last = i
+	entry := &a.entries[i]
+	entry.pay = comb.Fold(entry.pay, from, payload)
+	entry.count++
+	c.stats.MessagesCombined++
+	c.stats.InboxBytesSaved += msgBytes
 }
 
 // SendAlong sends payload along every out-edge of v carrying label and

@@ -20,9 +20,24 @@ type groupAcc struct {
 
 // partialGroups is the message payload of the aggregation finalization:
 // a vertex's locally pre-aggregated groups (the eager aggregation of §7).
+// When the message plane folds aggregator-bound sends (pgCombiner),
+// index and logical track the accumulated state: index dedups groups by
+// canonical key across folded senders, logical preserves the
+// pre-combine group count for the receiver's ComputeOps accounting.
 type partialGroups struct {
-	header []string
-	groups []*groupAcc
+	header  []string
+	groups  []*groupAcc
+	index   map[string]*groupAcc
+	logical int
+}
+
+// logicalGroups is the number of groups the receiver would have seen
+// had nothing folded en route.
+func (p *partialGroups) logicalGroups() int {
+	if p.logical > 0 {
+		return p.logical
+	}
+	return len(p.groups)
 }
 
 func (p *partialGroups) size() int {
@@ -266,7 +281,7 @@ func (e *Session) finalizeLocal(c *compiled, res *componentResult, outer *sql.En
 				pg.groups = append(pg.groups, g)
 			}
 			for _, av := range targets {
-				ctx.Send(v, av, byTarget[av])
+				ctx.Send(v, av, byTarget[av]) // folds en route (pgCombiner)
 			}
 		case 1:
 			// Attribute vertices merge the partials of their groups; each
@@ -293,7 +308,7 @@ func (e *Session) finalizeLocal(c *compiled, res *componentResult, outer *sql.En
 			}
 		}
 	})
-	e.eng.Run(prog, res.survivors)
+	e.eng.Run(bsp.WithCombiner(prog, pgCombiner{}), res.survivors)
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -359,7 +374,9 @@ func (e *Session) finalizeGlobal(c *compiled, res *componentResult, outer *sql.E
 					*lorder = append(*lorder, ks)
 				}
 			}
-			ctx.AddOps(len(pg.groups))
+			// Combined messages carry already-merged groups; account the
+			// pre-combine count so ComputeOps matches an uncombined run.
+			ctx.AddOps(pg.logicalGroups())
 		}
 	}
 	relayAcc := make([]map[string]*groupAcc, len(relays))
@@ -413,11 +430,12 @@ func (e *Session) finalizeGlobal(c *compiled, res *componentResult, outer *sql.E
 			}
 		case ctx.Step() == relayStep+1:
 			// The single aggregator vertex merges everything (the GA
-			// bottleneck of §8.3).
+			// bottleneck of §8.3 — now fed at most one message per worker
+			// per machine, since aggregator-bound partials fold en route).
 			mergeInbox(ctx, inbox, merged, &order)
 		}
 	})
-	e.eng.Run(prog, res.survivors)
+	e.eng.Run(bsp.WithCombiner(prog, pgCombiner{}), res.survivors)
 	if firstErr != nil {
 		return nil, firstErr
 	}

@@ -24,16 +24,26 @@ func (p *collectionProgram) BeforeSuperstep(step int, eng *bsp.Engine) bool {
 	return step <= p.r.nUp
 }
 
+// Combiner folds the partial tables bound for one parent into a single
+// pre-unioned tableBatch, so the fan-in union happens where the tables
+// are produced instead of accumulating in the inbox.
+func (p *collectionProgram) Combiner() bsp.Combiner { return tableUnionCombiner{} }
+
 // Compute is the per-vertex collection kernel.
 func (p *collectionProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
 	r := p.r
 	pl := r.comp.TAGPlan
 
 	// Union the incoming tables (same plan edge => same header): a single
-	// append pass, not pairwise unions.
+	// append pass, not pairwise unions. A combined inbox is one message
+	// already carrying the union.
 	var value *table
 	if len(inbox) == 1 {
-		value = inbox[0].Payload.(*table)
+		if b, ok := inbox[0].Payload.(*tableBatch); ok {
+			value = b.t
+		} else {
+			value = inbox[0].Payload.(*table)
+		}
 	} else if len(inbox) > 1 {
 		first := inbox[0].Payload.(*table)
 		total := 0
@@ -46,7 +56,7 @@ func (p *collectionProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bs
 			value.rows = append(value.rows, m.Payload.(*table).rows...)
 		}
 	}
-	ctx.AddOps(1 + len(inbox))
+	ctx.AddOps(1 + bsp.InboxCount(inbox))
 
 	// Determine the plan node this superstep addresses: the To node of
 	// the previous step (or the start leaf at superstep 0).

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/relation"
+)
+
+// This file declares the message combiners of the TAG-join vertex
+// programs: folds applied by the BSP engine at Send time (per worker)
+// and at the shard merge (across workers), so aggregate-heavy
+// traversals deliver one message per (active vertex, slot) instead of
+// one per sender. Every combiner here mirrors the exact left-fold its
+// receiving vertex performs over an uncombined inbox — same merge
+// operations in the same (worker, send) order — so combined execution
+// is byte-identical in rows and paper-facing Stats (cross-checked per
+// TPC-H query by TestCombinedMatchesUncombinedTPCH in internal/bench).
+
+// pgCombiner folds partialGroups bound for the same aggregation target
+// (the global aggregator vertex, a per-machine relay, or an attribute
+// vertex on the LA path) into one message per destination, merging
+// groups by key with sql.Aggregator.Merge — the COUNT/SUM/MIN/MAX fold
+// the receiver would have run on arrival, moved to where the messages
+// are produced.
+//
+// Byte-identity caveat: the receiving vertex left-folds colliding
+// groups in delivery order, and a combiner necessarily regroups that
+// fold (per-worker partials merge before cross-worker ones). A group
+// pair therefore folds eagerly only when every slot's merge is exact
+// under regrouping (sql.Aggregator.MergeExact: set unions, counts,
+// comparisons, integer sums); order-sensitive merges — float SUM/AVG
+// rounding — are instead concatenated in delivery order and left to
+// the receiver, so the message still collapses but the arithmetic
+// replays in exactly the uncombined sequence.
+type pgCombiner struct{}
+
+// Slot implements bsp.Combiner.
+func (pgCombiner) Slot(any) int { return 0 }
+
+// Fold implements bsp.Combiner. The first sender's partials are
+// borrowed rather than copied: a partialGroups is sent to exactly one
+// destination and never touched by its sender again.
+func (pgCombiner) Fold(acc any, _ bsp.VertexID, payload any) any {
+	pg := payload.(*partialGroups)
+	if acc == nil {
+		return pg
+	}
+	return mergePartialGroups(acc.(*partialGroups), pg)
+}
+
+// Merge implements bsp.Combiner.
+func (pgCombiner) Merge(acc, other any) any {
+	return mergePartialGroups(acc.(*partialGroups), other.(*partialGroups))
+}
+
+// mergePartialGroups folds b into a in b's group order. Per canonical
+// key, the first group is the "open" accumulator: later groups merge
+// into it while every slot's merge is exact under regrouping
+// (MergeExact); the first order-sensitive pair switches the key to
+// concatenation for the rest of the stream (the receiver folds
+// concatenated groups into the first one in list order — eager merges
+// into any later group would reparenthesize a float sum). The logical
+// pre-combine group count is carried so receivers account the paper's
+// ComputeOps as if nothing had folded.
+func mergePartialGroups(a, b *partialGroups) *partialGroups {
+	if a.index == nil {
+		a.index = make(map[string]*groupAcc, len(a.groups))
+		for _, g := range a.groups {
+			a.index[groupKeyString(g.key)] = g
+		}
+	}
+	la, lb := a.logicalGroups(), b.logicalGroups()
+	for _, g := range b.groups {
+		ks := groupKeyString(g.key)
+		open, seen := a.index[ks]
+		switch {
+		case !seen:
+			a.index[ks] = g
+			a.groups = append(a.groups, g)
+		case open != nil && groupsMergeExact(open, g):
+			for i := range open.aggs {
+				open.aggs[i].Merge(g.aggs[i])
+			}
+		default:
+			a.index[ks] = nil // order-sensitive: defer this key to the receiver
+			a.groups = append(a.groups, g)
+		}
+	}
+	a.logical = la + lb
+	if a.header == nil {
+		a.header = b.header
+	}
+	return a
+}
+
+// groupsMergeExact reports whether folding b into a is independent of
+// fold order for every aggregate slot.
+func groupsMergeExact(a, b *groupAcc) bool {
+	for i := range a.aggs {
+		if !a.aggs[i].MergeExact(b.aggs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// senderBatch is the combined payload of the reduction phase's nil
+// messages: the sender ids folded at Send time, in delivery order. The
+// receiving mark() records exactly the set it would have built from an
+// uncombined inbox, at a third of the Message-slot footprint.
+type senderBatch struct {
+	from []bsp.VertexID
+}
+
+// senderCombiner folds the reduction phase's (From, nil) messages into
+// one senderBatch per destination.
+type senderCombiner struct{}
+
+// Slot implements bsp.Combiner.
+func (senderCombiner) Slot(any) int { return 0 }
+
+// Fold implements bsp.Combiner.
+func (senderCombiner) Fold(acc any, from bsp.VertexID, _ any) any {
+	if acc == nil {
+		return &senderBatch{from: append(make([]bsp.VertexID, 0, 4), from)}
+	}
+	b := acc.(*senderBatch)
+	b.from = append(b.from, from)
+	return b
+}
+
+// Merge implements bsp.Combiner.
+func (senderCombiner) Merge(acc, other any) any {
+	a, b := acc.(*senderBatch), other.(*senderBatch)
+	a.from = append(a.from, b.from...)
+	return a
+}
+
+// valueBatch is the combined payload of the cycle pre-pass propagation:
+// the distinct join-attribute values folded at Send time, in first-send
+// order. Receivers dedup per value anyway (the per-vertex fwd/seen
+// sets), so dropping within-superstep duplicates early changes nothing
+// they observe — it is the §6 value propagation's natural MIN-style
+// fold.
+type valueBatch struct {
+	vals []relation.Value
+	seen map[relation.Value]struct{}
+}
+
+func (b *valueBatch) add(val relation.Value) {
+	if _, ok := b.seen[val]; !ok {
+		b.seen[val] = struct{}{}
+		b.vals = append(b.vals, val)
+	}
+}
+
+// valueCombiner folds cycleMsg payloads into one valueBatch per
+// destination.
+type valueCombiner struct{}
+
+// Slot implements bsp.Combiner.
+func (valueCombiner) Slot(any) int { return 0 }
+
+// Fold implements bsp.Combiner.
+func (valueCombiner) Fold(acc any, _ bsp.VertexID, payload any) any {
+	val := payload.(cycleMsg).val
+	if acc == nil {
+		return &valueBatch{
+			vals: append(make([]relation.Value, 0, 4), val),
+			seen: map[relation.Value]struct{}{val: {}},
+		}
+	}
+	b := acc.(*valueBatch)
+	b.add(val)
+	return b
+}
+
+// Merge implements bsp.Combiner.
+func (valueCombiner) Merge(acc, other any) any {
+	a, b := acc.(*valueBatch), other.(*valueBatch)
+	for _, v := range b.vals {
+		a.add(v)
+	}
+	return a
+}
+
+// eachCycleVal visits the propagated values of one delivered message,
+// combined or not, in delivery order.
+func eachCycleVal(msg bsp.Message, fn func(relation.Value)) {
+	if b, ok := msg.Payload.(*valueBatch); ok {
+		for _, v := range b.vals {
+			fn(v)
+		}
+		return
+	}
+	fn(msg.Payload.(cycleMsg).val)
+}
+
+// tableBatch is the combined payload of the collection phase: the union
+// of the partial tables sent to one destination, rows in delivery
+// order — the same single append pass the receiver runs over a
+// multi-message inbox. The first table is borrowed without copying
+// (collection multicasts one value table to several parents, so the
+// batch copies the rows only when a second table actually arrives —
+// mirroring the receiver, which also avoids the copy for a one-message
+// inbox).
+type tableBatch struct {
+	t     *table
+	owned bool
+}
+
+func (b *tableBatch) union(t *table) {
+	if !b.owned {
+		u := newTableShared(b.t.header, b.t.index)
+		u.rows = append(make([][]relation.Value, 0, len(b.t.rows)+len(t.rows)), b.t.rows...)
+		b.t = u
+		b.owned = true
+	}
+	b.t.rows = append(b.t.rows, t.rows...)
+}
+
+// tableUnionCombiner folds the collection phase's partial-table
+// messages into one tableBatch per destination.
+type tableUnionCombiner struct{}
+
+// Slot implements bsp.Combiner.
+func (tableUnionCombiner) Slot(any) int { return 0 }
+
+// Fold implements bsp.Combiner.
+func (tableUnionCombiner) Fold(acc any, _ bsp.VertexID, payload any) any {
+	if acc == nil {
+		return &tableBatch{t: payload.(*table)}
+	}
+	b := acc.(*tableBatch)
+	b.union(payload.(*table))
+	return b
+}
+
+// Merge implements bsp.Combiner.
+func (tableUnionCombiner) Merge(acc, other any) any {
+	a, b := acc.(*tableBatch), other.(*tableBatch)
+	a.union(b.t)
+	return a
+}

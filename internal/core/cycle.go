@@ -186,7 +186,9 @@ func (r *componentRun) wakeNeighbors(start []bsp.VertexID, h0, h1 pathHop) []bsp
 		}
 		ctx.AddOps(1)
 	})
-	r.ex.eng.Run(prog, start)
+	// The wake-up is a pure activation signal — receivers never read the
+	// inbox — so the plane folds it to one message per woken vertex.
+	r.ex.eng.Run(bsp.WithCombiner(prog, bsp.SignalCombiner{}), start)
 	var out []bsp.VertexID
 	for _, e := range r.ex.eng.Emitted() {
 		vid := e.(bsp.VertexID)
@@ -246,10 +248,15 @@ type cycleForwardProgram struct {
 	arr  []map[relation.Value]struct{}
 }
 
+// Combiner folds the propagated values into one valueBatch per
+// destination (receivers dedup per value, so within-superstep
+// duplicates fold away en route).
+func (p *cycleForwardProgram) Combiner() bsp.Combiner { return valueCombiner{} }
+
 // Compute implements the forward propagation kernel.
 func (p *cycleForwardProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
 	step := ctx.Step()
-	ctx.AddOps(1 + len(inbox))
+	ctx.AddOps(1 + bsp.InboxCount(inbox))
 
 	if step == 0 {
 		// Start attribute vertices inject their own value.
@@ -278,14 +285,15 @@ func (p *cycleForwardProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []
 		}
 	}
 	for _, msg := range inbox {
-		val := msg.Payload.(cycleMsg).val
-		if _, seen := set[val]; seen {
-			continue
-		}
-		set[val] = struct{}{}
-		if !last {
-			ctx.SendAlong(v, p.hops[step].label, cycleMsg{val: val})
-		}
+		eachCycleVal(msg, func(val relation.Value) {
+			if _, seen := set[val]; seen {
+				return
+			}
+			set[val] = struct{}{}
+			if !last {
+				ctx.SendAlong(v, p.hops[step].label, cycleMsg{val: val})
+			}
+		})
 	}
 }
 
@@ -303,11 +311,15 @@ type cycleBackwardProgram struct {
 	seen      []map[relation.Value]struct{}
 }
 
+// Combiner folds the surviving values walking back into one valueBatch
+// per destination.
+func (p *cycleBackwardProgram) Combiner() bsp.Combiner { return valueCombiner{} }
+
 // Compute implements the backward marking kernel. Backward superstep s
 // lands on the source vertices of hop len(hops)-s.
 func (p *cycleBackwardProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
 	step := ctx.Step()
-	ctx.AddOps(1 + len(inbox))
+	ctx.AddOps(1 + bsp.InboxCount(inbox))
 	if step == 0 {
 		for val := range p.surviving[v] {
 			ctx.SendAlong(v, p.hops[len(p.hops)-1].label, cycleMsg{val: val})
@@ -330,18 +342,19 @@ func (p *cycleBackwardProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox [
 		p.seen[v] = seen
 	}
 	for _, msg := range inbox {
-		val := msg.Payload.(cycleMsg).val
-		if _, ok := have[val]; !ok {
-			continue
-		}
-		if _, dup := seen[val]; dup {
-			continue
-		}
-		seen[val] = struct{}{}
-		if landedAlias != "" {
-			ctx.Emit(relayMark{alias: landedAlias, v: v})
-		}
-		ctx.SendAlong(v, p.hops[idx-1].label, cycleMsg{val: val})
+		eachCycleVal(msg, func(val relation.Value) {
+			if _, ok := have[val]; !ok {
+				return
+			}
+			if _, dup := seen[val]; dup {
+				return
+			}
+			seen[val] = struct{}{}
+			if landedAlias != "" {
+				ctx.Emit(relayMark{alias: landedAlias, v: v})
+			}
+			ctx.SendAlong(v, p.hops[idx-1].label, cycleMsg{val: val})
+		})
 	}
 }
 

@@ -26,10 +26,15 @@ func (p *reductionProgram) BeforeSuperstep(step int, eng *bsp.Engine) bool {
 	return step <= len(p.r.steps)
 }
 
+// Combiner folds the reduction's nil-payload signals into one
+// senderBatch per destination: mark() only needs the sender set, so the
+// plane can carry it as ids instead of Message slots.
+func (p *reductionProgram) Combiner() bsp.Combiner { return senderCombiner{} }
+
 // Compute is the per-vertex reduction kernel.
 func (p *reductionProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
 	r := p.r
-	ctx.AddOps(1 + len(inbox))
+	ctx.AddOps(1 + bsp.InboxCount(inbox))
 
 	// Computation stage: process receipts from the previous step.
 	if p.cur > 0 {
@@ -58,16 +63,23 @@ func (p *reductionProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bsp
 }
 
 // mark replaces v's sender set for a plan edge (the most recent, most
-// reduced pass wins; line 19's mark update).
+// reduced pass wins; line 19's mark update). Combined messages carry
+// their folded senders as a senderBatch; plain ones contribute From.
 func (r *componentRun) mark(v bsp.VertexID, edge int, inbox []bsp.Message) {
 	m := r.marks[v]
 	if m == nil {
 		m = make(map[int]map[bsp.VertexID]struct{}, 2)
 		r.marks[v] = m
 	}
-	set := make(map[bsp.VertexID]struct{}, len(inbox))
+	set := make(map[bsp.VertexID]struct{}, bsp.InboxCount(inbox))
 	for _, msg := range inbox {
-		set[msg.From] = struct{}{}
+		if b, ok := msg.Payload.(*senderBatch); ok {
+			for _, f := range b.from {
+				set[f] = struct{}{}
+			}
+		} else {
+			set[msg.From] = struct{}{}
+		}
 	}
 	m[edge] = set
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/bsp"
 	"repro/internal/relation"
@@ -108,6 +109,16 @@ func (e *Session) ResetStats() { e.eng.ResetStats() }
 // message plane (live inbox entries plus pooled buffers); compare with
 // bsp.DenseInboxBytes for the dense O(|V|) plane it replaced.
 func (e *Session) InboxBytes() int64 { return e.eng.InboxBytes() }
+
+// PeakInboxBytes reports the largest resident inbox footprint any of
+// this session's supersteps reached (requires Opts.Profile). Together
+// with Stats().MessagesCombined / InboxBytesSaved it quantifies what
+// Send-time combining kept out of the message plane.
+func (e *Session) PeakInboxBytes() int64 { return e.eng.PeakInboxBytes() }
+
+// MergeDuration reports the cumulative communication-stage wall time of
+// this session's supersteps (requires Opts.Profile).
+func (e *Session) MergeDuration() time.Duration { return e.eng.MergeDuration() }
 
 // Query parses, analyzes and executes a SQL string.
 func (e *Session) Query(query string) (*relation.Relation, error) {

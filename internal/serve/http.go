@@ -72,6 +72,11 @@ type StatsResponse struct {
 	Messages        int64   `json:"bsp_messages"`
 	MessageBytes    int64   `json:"bsp_message_bytes"`
 	ComputeOps      int64   `json:"bsp_compute_ops"`
+	// Message-plane combiner activity: logical sends folded en route
+	// and the inbox Message slots that never materialized. Messages
+	// above still counts every logical send (the paper's M).
+	MessagesCombined int64 `json:"bsp_messages_combined"`
+	InboxBytesSaved  int64 `json:"bsp_inbox_bytes_saved"`
 }
 
 type errorResponse struct {
@@ -162,24 +167,26 @@ func handler(s *Server, readOnly bool) http.Handler {
 			avg = ms(st.TotalTime) / float64(st.Queries)
 		}
 		writeJSON(w, http.StatusOK, StatsResponse{
-			Queries:         st.Queries,
-			Errors:          st.Errors,
-			InFlight:        st.InFlight,
-			PreparedHits:    st.PreparedHits,
-			PreparedMisses:  st.PreparedMisses,
-			PreparedSize:    s.PreparedLen(),
-			AvgMillis:       avg,
-			MaxMillis:       ms(st.MaxTime),
-			Epoch:           st.Epoch,
-			Swaps:           st.Swaps,
-			WriteOps:        st.WriteOps,
-			GenerationsLive: st.GenerationsLive,
-			RowsInserted:    st.RowsInserted,
-			RowsDeleted:     st.RowsDeleted,
-			Supersteps:      st.Cost.Supersteps,
-			Messages:        st.Cost.Messages,
-			MessageBytes:    st.Cost.MessageBytes,
-			ComputeOps:      st.Cost.ComputeOps,
+			Queries:          st.Queries,
+			Errors:           st.Errors,
+			InFlight:         st.InFlight,
+			PreparedHits:     st.PreparedHits,
+			PreparedMisses:   st.PreparedMisses,
+			PreparedSize:     s.PreparedLen(),
+			AvgMillis:        avg,
+			MaxMillis:        ms(st.MaxTime),
+			Epoch:            st.Epoch,
+			Swaps:            st.Swaps,
+			WriteOps:         st.WriteOps,
+			GenerationsLive:  st.GenerationsLive,
+			RowsInserted:     st.RowsInserted,
+			RowsDeleted:      st.RowsDeleted,
+			Supersteps:       st.Cost.Supersteps,
+			Messages:         st.Cost.Messages,
+			MessageBytes:     st.Cost.MessageBytes,
+			ComputeOps:       st.Cost.ComputeOps,
+			MessagesCombined: st.Cost.MessagesCombined,
+			InboxBytesSaved:  st.Cost.InboxBytesSaved,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

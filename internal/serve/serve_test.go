@@ -214,4 +214,14 @@ func TestHTTPQueryAndStats(t *testing.T) {
 	if st.Queries != 1 || st.Errors != 1 {
 		t.Errorf("stats = %+v, want 1 query and 1 error", st)
 	}
+	// The scalar COUNT funnels every nation row's partial into the
+	// aggregator vertex; the combined message plane must have folded
+	// those sends and surfaced the counters through /stats.
+	if st.MessagesCombined <= 0 {
+		t.Errorf("stats report no combined messages: %+v", st)
+	}
+	if st.InboxBytesSaved < st.MessagesCombined*24 {
+		t.Errorf("saved bytes %d below the Message-slot floor for %d folds",
+			st.InboxBytesSaved, st.MessagesCombined)
+	}
 }

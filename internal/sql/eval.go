@@ -485,6 +485,23 @@ func (a *Aggregator) Merge(b *Aggregator) {
 	}
 }
 
+// MergeExact reports whether merging b into a commutes with any fold
+// order — the merge is a set union (DISTINCT), an exact integer
+// addition, or a pure comparison (MIN/MAX), never a float rounding.
+// Message combiners consult it before folding partials eagerly: an
+// order-sensitive merge (float SUM/AVG) must instead be left to the
+// receiving vertex so results stay bit-identical to an uncombined run.
+func (a *Aggregator) MergeExact(b *Aggregator) bool {
+	if a.distinct != nil {
+		return true
+	}
+	switch a.fn.Name {
+	case "SUM", "AVG":
+		return a.sum.Kind != relation.KindFloat && b.sum.Kind != relation.KindFloat
+	}
+	return true // COUNT, MIN, MAX: counting and comparisons are order-free
+}
+
 // Result returns the aggregate's final value.
 func (a *Aggregator) Result() relation.Value {
 	if a.distinct != nil {
