@@ -20,6 +20,9 @@
 //	combine     message-plane combiners: Send-time folding vs
 //	            materializing every message on aggregate-heavy queries
 //	            (wall time, merge time, peak inbox bytes, fold counters)
+//	wal         write durability: ingest throughput through the WriteOp
+//	            write-ahead log under each sync policy (always /
+//	            group-commit interval / never) vs the memory-only path
 //	all         everything above
 //
 // -exp accepts a comma-separated list (e.g. -exp engine,combine); an
@@ -43,7 +46,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|all")
+	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|wal|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
@@ -89,6 +92,7 @@ func main() {
 		{"maintain", func() error { return runMaintain(cfg, *quick, report) }},
 		{"engine", func() error { return runEngine(cfg, *quick, report) }},
 		{"combine", func() error { return runCombine(cfg, *quick, report) }},
+		{"wal", func() error { return runWal(cfg, *quick, report) }},
 	}
 	valid := map[string]bool{"all": true}
 	var names []string
@@ -162,6 +166,28 @@ func runCombine(cfg bench.Config, quick bool, report map[string]any) error {
 		all = append(all, res...)
 	}
 	report["combine"] = all
+	return nil
+}
+
+func runWal(cfg bench.Config, quick bool, report map[string]any) error {
+	batchRows, window := 200, time.Second
+	workloads := []string{"tpch", "tpcds"}
+	if quick {
+		batchRows, window = 100, 300*time.Millisecond
+		workloads = []string{"tpch"}
+	}
+	var all []bench.WALResult
+	for _, workload := range workloads {
+		results, err := bench.WALBench(cfg, workload, batchRows, window)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			bench.PrintWAL(cfg.Out, res)
+		}
+		all = append(all, results...)
+	}
+	report["wal"] = all
 	return nil
 }
 

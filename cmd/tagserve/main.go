@@ -6,6 +6,13 @@
 // graph and published as the next epoch with an atomic swap, so queries
 // are never blocked and never see a half-applied batch.
 //
+// With -wal <dir>, writes are durable: every published batch is
+// appended to a write-ahead log (synced per -wal-sync) before its
+// generation swap, and on boot the log is replayed through the same
+// maintenance path, rebuilding the exact pre-crash epoch sequence —
+// kill the process mid-stream and restart it, and it answers as the
+// uninterrupted server would.
+//
 // Endpoints:
 //
 //	POST /query  {"sql": "SELECT ..."}   rows + per-query execution report
@@ -17,7 +24,7 @@
 //
 // Example:
 //
-//	tagserve -db tpch -scale 0.5 -sessions 8 -addr :8080 &
+//	tagserve -db tpch -scale 0.5 -sessions 8 -wal ./wal -addr :8080 &
 //	curl -s localhost:8080/query --data '{"sql": "SELECT COUNT(*) FROM orders"}'
 //	curl -s localhost:8080/write --data '{"table": "nation", "insert": [[25, "ATLANTIS", 1, "n/a"]]}'
 //	curl -s localhost:8080/stats
@@ -36,6 +43,7 @@ import (
 	"repro/internal/tag"
 	"repro/internal/tpcds"
 	"repro/internal/tpch"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -47,7 +55,16 @@ func main() {
 	workers := flag.Int("workers", 1, "BSP workers per session")
 	readonly := flag.Bool("readonly", false, "disable the /write endpoint")
 	prepared := flag.Int("prepared", 1024, "prepared-statement cache entries (LRU)")
+	walDir := flag.String("wal", "", "write-ahead log directory (empty = memory-only): replay on boot, append while serving")
+	walSync := flag.String("wal-sync", "interval", "WAL sync policy: always|interval|never")
+	walInterval := flag.Duration("wal-interval", 100*time.Millisecond, "max fsync lag under -wal-sync interval")
 	flag.Parse()
+
+	walPolicy, err := wal.ParsePolicy(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var cat *relation.Catalog
 	switch *workload {
@@ -66,19 +83,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv := serve.New(g, serve.Options{
-		Sessions:      *sessions,
-		Engine:        bsp.Options{Workers: *workers},
-		PreparedLimit: *prepared,
+	srv, err := serve.Open(g, serve.Options{
+		Sessions:        *sessions,
+		Engine:          bsp.Options{Workers: *workers},
+		PreparedLimit:   *prepared,
+		WALDir:          *walDir,
+		WALSync:         walPolicy,
+		WALSyncInterval: *walInterval,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	mode := "serve-while-write (/write enabled)"
 	handler := serve.Handler(srv)
 	if *readonly {
 		mode = "read-only"
 		handler = serve.ReadOnlyHandler(srv)
 	}
-	fmt.Printf("tagserve: %s at scale %g encoded in %v (%s); %d sessions, %s, on %s\n",
-		*workload, *scale, time.Since(start).Round(time.Millisecond), g.G.String(), *sessions, mode, *addr)
+	durability := "memory-only"
+	if *walDir != "" {
+		st := srv.Stats()
+		durability = fmt.Sprintf("wal %s (sync=%s, %d epochs replayed)", *walDir, walPolicy, st.WALReplayed)
+	}
+	fmt.Printf("tagserve: %s at scale %g encoded in %v (%s); %d sessions, %s, %s, on %s\n",
+		*workload, *scale, time.Since(start).Round(time.Millisecond), g.G.String(), *sessions, mode, durability, *addr)
 
 	if err := http.ListenAndServe(*addr, handler); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/serve"
+	"repro/internal/tag"
+	"repro/internal/wal"
+)
+
+// WALPolicies compared by the durability benchmark: the write path with
+// no WAL at all, and with the WriteOp log under each sync policy.
+//
+//	nowal     the PR-2 maintenance path, memory-only (the baseline the
+//	          log's overhead is measured against)
+//	never     append to the OS page cache, never fsync — durable across
+//	          process crashes, not machine crashes
+//	interval  group-commit fsync at most once per 100ms — bounded loss
+//	          at near-unsynced throughput; the default serving policy
+//	always    fsync before every acknowledgement — no acknowledged
+//	          write is ever lost, at the cost of one fsync per publish
+var WALPolicies = []string{"nowal", "never", "interval", "always"}
+
+// WALResult is the outcome of one durability measurement.
+type WALResult struct {
+	Workload  string
+	Scale     float64
+	BatchRows int
+	Window    time.Duration
+
+	RowsPerSec map[string]float64 // policy -> rows ingested/second
+	Batches    map[string]int64   // policy -> publishes in the window
+	WriteMS    map[string]float64 // policy -> mean per-batch apply+log time (ms)
+	WALBytes   map[string]int64   // policy -> bytes appended to the log
+	Fsyncs     map[string]int64   // policy -> fsyncs the policy issued
+}
+
+// WALBench measures write throughput through the serving layer's
+// maintenance path under each WAL sync policy, against the no-WAL
+// baseline. One writer applies batchRows-row insert batches back to
+// back for the window; each (scale, policy) cell gets a freshly built
+// graph and a fresh log directory.
+func WALBench(cfg Config, workload string, batchRows int, window time.Duration) ([]WALResult, error) {
+	cfg = cfg.withDefaults()
+	if batchRows <= 0 {
+		batchRows = 200
+	}
+	if window <= 0 {
+		window = 500 * time.Millisecond
+	}
+	table := maintainTable[workload]
+	if table == "" {
+		return nil, fmt.Errorf("bench: no ingest table for workload %q", workload)
+	}
+
+	var out []WALResult
+	for _, scale := range cfg.Scales {
+		res := WALResult{
+			Workload: workload, Scale: scale, BatchRows: batchRows, Window: window,
+			RowsPerSec: map[string]float64{}, Batches: map[string]int64{},
+			WriteMS: map[string]float64{}, WALBytes: map[string]int64{}, Fsyncs: map[string]int64{},
+		}
+		for _, policy := range WALPolicies {
+			cat := generate(workload, scale, cfg.Seed)
+			g, err := tag.Build(cat, nil)
+			if err != nil {
+				return out, err
+			}
+			if err := runWALPolicy(&res, policy, g, table, batchRows, window); err != nil {
+				return out, fmt.Errorf("bench: wal %s at scale %g: %w", policy, scale, err)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runWALPolicy(res *WALResult, policy string, g *tag.Graph, table string, batchRows int, window time.Duration) error {
+	opts := serve.Options{Sessions: 1}
+	if policy != "nowal" {
+		dir, err := os.MkdirTemp("", "walbench-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		p, err := wal.ParsePolicy(policy)
+		if err != nil {
+			return err
+		}
+		opts.WALDir, opts.WALSync = dir, p
+	}
+	srv, err := serve.Open(g, opts)
+	if err != nil {
+		return err
+	}
+	if w := srv.WAL(); w != nil {
+		defer w.Close()
+	}
+	maint := srv.Maintainer()
+
+	rel := g.Catalog.Get(table)
+	if rel == nil || rel.Len() == 0 {
+		return fmt.Errorf("no rows in table %q", table)
+	}
+	templates := append([]relation.Tuple(nil), rel.Tuples[:min(len(rel.Tuples), 4*batchRows)]...)
+	tmplRel := &relation.Relation{Name: rel.Name, Schema: rel.Schema, Tuples: templates}
+
+	var (
+		batches    int64
+		writeTotal time.Duration
+		nextKey    = int64(1) << 40
+	)
+	start := time.Now()
+	deadline := start.Add(window)
+	for time.Now().Before(deadline) {
+		rows := synthRows(tmplRel, batchRows, &nextKey)
+		t0 := time.Now()
+		if _, err := maint.InsertBatch(table, rows); err != nil {
+			return err
+		}
+		writeTotal += time.Since(t0)
+		batches++
+	}
+	elapsed := time.Since(start)
+
+	res.Batches[policy] = batches
+	if elapsed > 0 {
+		res.RowsPerSec[policy] = float64(batches*int64(batchRows)) / elapsed.Seconds()
+	}
+	if batches > 0 {
+		res.WriteMS[policy] = float64(writeTotal.Microseconds()) / 1e3 / float64(batches)
+	}
+	st := srv.Stats()
+	res.WALBytes[policy] = st.WALBytes
+	res.Fsyncs[policy] = st.WALFsyncs
+	return nil
+}
+
+// PrintWAL renders the durability comparison.
+func PrintWAL(w io.Writer, r WALResult) {
+	fmt.Fprintf(w, "\nWAL write throughput — %s SF %g, continuous %d-row insert batches, %v window\n",
+		r.Workload, r.Scale, r.BatchRows, r.Window)
+	fmt.Fprintf(w, "(nowal = memory-only baseline; never/interval/always = WriteOp log sync policies)\n")
+	fmt.Fprintf(w, "%-10s %12s %10s %14s %12s %8s %10s\n",
+		"policy", "rows_per_s", "batches", "avg_write_ms", "wal_bytes", "fsyncs", "vs_nowal")
+	base := r.RowsPerSec["nowal"]
+	for _, policy := range WALPolicies {
+		rel := 0.0
+		if base > 0 {
+			rel = r.RowsPerSec[policy] / base
+		}
+		fmt.Fprintf(w, "%-10s %12.0f %10d %14.2f %12d %8d %9.2fx\n",
+			policy, r.RowsPerSec[policy], r.Batches[policy], r.WriteMS[policy],
+			r.WALBytes[policy], r.Fsyncs[policy], rel)
+	}
+}

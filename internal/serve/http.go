@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bsp"
@@ -19,6 +21,12 @@ type QueryRequest struct {
 }
 
 // QueryResponse is the /query response body.
+//
+// Number encoding: INT cells are emitted as JSON numbers while they fit
+// the 2^53 range JSON clients can represent exactly; cells beyond
+// ±2^53 are emitted as decimal strings instead, because a JavaScript-
+// style client would silently round them. Clients that expect huge
+// integers should accept both forms.
 type QueryResponse struct {
 	Columns  []string `json:"columns"`
 	Rows     [][]any  `json:"rows"`
@@ -31,12 +39,14 @@ type QueryResponse struct {
 	Messages int64    `json:"bsp_messages"`
 }
 
-// WriteRequest is the /write request body: deletes (by tuple-vertex id,
-// applied first) and/or rows to insert into one table, published
-// atomically as a single new graph generation. Insert cells follow the
-// table schema: numbers for INT/FLOAT columns, strings for STRING
-// columns, "YYYY-MM-DD" strings (or day numbers) for DATE columns,
-// booleans for BOOL columns, null for NULL.
+// WriteRequest is the /write request body: rows to insert into one
+// table and/or deletes (by tuple-vertex id, which must name vertices
+// that already exist), published atomically as a single new graph
+// generation — a failed request changes nothing. Insert cells follow the
+// table schema: numbers for INT/FLOAT columns (INT also accepts decimal
+// strings, the form /query serves for cells beyond ±2^53), strings for
+// STRING columns, "YYYY-MM-DD" strings (or day numbers) for DATE
+// columns, booleans for BOOL columns, null for NULL.
 type WriteRequest struct {
 	Table  string  `json:"table,omitempty"`
 	Insert [][]any `json:"insert,omitempty"`
@@ -77,6 +87,11 @@ type StatsResponse struct {
 	// above still counts every logical send (the paper's M).
 	MessagesCombined int64 `json:"bsp_messages_combined"`
 	InboxBytesSaved  int64 `json:"bsp_inbox_bytes_saved"`
+	// Durability (the WriteOp WAL; all zero on a memory-only server).
+	WALRecords  int64 `json:"wal_records"`
+	WALBytes    int64 `json:"wal_bytes"`
+	WALFsyncs   int64 `json:"wal_fsyncs"`
+	WALReplayed int64 `json:"wal_replayed_epochs"`
 }
 
 type errorResponse struct {
@@ -100,12 +115,11 @@ func handler(s *Server, readOnly bool) http.Handler {
 	mux := http.NewServeMux()
 	maint := s.Maintainer()
 	mux.HandleFunc("/write", func(w http.ResponseWriter, r *http.Request) {
-		if readOnly {
-			writeJSON(w, http.StatusForbidden, errorResponse{Error: "server is read-only"})
+		if !allowMethods(w, r, http.MethodPost) {
 			return
 		}
-		if r.Method != http.MethodPost {
-			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		if readOnly {
+			writeJSON(w, http.StatusForbidden, errorResponse{Error: "server is read-only"})
 			return
 		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
@@ -135,6 +149,11 @@ func handler(s *Server, readOnly bool) http.Handler {
 		writeJSON(w, http.StatusOK, out)
 	})
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		// Strictly GET or POST: treating, say, a DELETE as a GET would
+		// mask client bugs behind a successful response.
+		if !allowMethods(w, r, http.MethodGet, http.MethodPost) {
+			return
+		}
 		query := r.URL.Query().Get("sql")
 		if r.Method == http.MethodPost {
 			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
@@ -161,6 +180,9 @@ func handler(s *Server, readOnly bool) http.Handler {
 		writeJSON(w, http.StatusOK, toQueryResponse(res))
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+			return
+		}
 		st := s.Stats()
 		avg := 0.0
 		if st.Queries > 0 {
@@ -187,13 +209,34 @@ func handler(s *Server, readOnly bool) http.Handler {
 			ComputeOps:       st.Cost.ComputeOps,
 			MessagesCombined: st.Cost.MessagesCombined,
 			InboxBytesSaved:  st.Cost.InboxBytesSaved,
+			WALRecords:       st.WALRecords,
+			WALBytes:         st.WALBytes,
+			WALFsyncs:        st.WALFsyncs,
+			WALReplayed:      st.WALReplayed,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		w.Write([]byte("ok"))
 	})
 	return mux
+}
+
+// allowMethods enforces an endpoint's method set: an unsupported method
+// gets 405 with an Allow header per RFC 9110 and the handler stops.
+func allowMethods(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	w.Header().Set("Allow", strings.Join(methods, ", "))
+	writeJSON(w, http.StatusMethodNotAllowed,
+		errorResponse{Error: fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, strings.Join(methods, ", "))})
+	return false
 }
 
 func toQueryResponse(res *Result) QueryResponse {
@@ -285,6 +328,15 @@ func decodeRow(schema *relation.Schema, raw []any) (relation.Tuple, error) {
 			switch col.Kind {
 			case relation.KindString:
 				row[i] = relation.Str(cell)
+			case relation.KindInt:
+				// Mirror of the output encoding: INT cells beyond ±2^53 are
+				// served as decimal strings, so /query output must round-trip
+				// back through /write.
+				n, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("column %s: %q is not an integer", col.Name, cell)
+				}
+				row[i] = relation.Int(n)
 			case relation.KindDate:
 				v, err := relation.ParseDate(cell)
 				if err != nil {
@@ -306,12 +358,22 @@ func decodeRow(schema *relation.Schema, raw []any) (relation.Tuple, error) {
 	return row, nil
 }
 
+// maxExactJSONInt is the largest integer magnitude a float64-backed
+// JSON client decodes exactly (2^53).
+const maxExactJSONInt = int64(1) << 53
+
 // jsonValue maps a relation.Value to its natural JSON representation.
+// INT cells beyond ±2^53 are rendered as decimal strings: most JSON
+// clients decode numbers into float64, which would silently round them
+// (see the QueryResponse doc).
 func jsonValue(v relation.Value) any {
 	switch v.Kind {
 	case relation.KindNull:
 		return nil
 	case relation.KindInt:
+		if v.I > maxExactJSONInt || v.I < -maxExactJSONInt {
+			return strconv.FormatInt(v.I, 10)
+		}
 		return v.I
 	case relation.KindFloat:
 		return v.F

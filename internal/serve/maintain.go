@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/bsp"
 	"repro/internal/relation"
+	"repro/internal/tag"
+	"repro/internal/wal"
 )
 
 // Maintainer applies writes to a Server without ever blocking its
@@ -24,11 +26,13 @@ import (
 //     swap; every coalesced op reports the same epoch.
 //
 // The first writer to reach the server's writer lock becomes the
-// leader and drains the whole queue, including ops enqueued by writers
-// still blocked behind it — those find their result ready when they
-// get the lock. A lone writer therefore still pays one clone per
-// batch, but N writers colliding pay one clone per *drain*, which is
-// what lifts ingest throughput toward the in-place baselines.
+// leader and drains the queue — including ops enqueued by writers
+// still blocked behind it, which find their result ready when they get
+// the lock — up to a per-cycle size budget (an over-budget burst
+// publishes across several cycles so its WAL record stays well within
+// the log's frame cap). A lone writer therefore still pays one clone
+// per batch, but N writers colliding pay one clone per *drain*, which
+// is what lifts ingest throughput toward the in-place baselines.
 //
 // In-flight queries keep their pinned generation until they finish;
 // queries that start after the swap see the new one.
@@ -36,9 +40,10 @@ type Maintainer struct {
 	s *Server
 }
 
-// WriteOp is one maintenance batch: deletes (by tuple-vertex id,
-// applied first) and/or inserts into one relation, published together
-// in a single new generation.
+// WriteOp is one maintenance batch: inserts into one relation and/or
+// deletes (by tuple-vertex id, which must name vertices that already
+// exist when the op is submitted), applied atomically — a published
+// generation carries either all of an op or none of it.
 type WriteOp struct {
 	Table  string // target relation for Insert; may be empty when only deleting
 	Insert []relation.Tuple
@@ -85,21 +90,64 @@ func (m *Maintainer) Apply(op WriteOp) (*WriteResult, error) {
 
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock() // deferred so a panicking batch cannot wedge the writer path
-	select {
-	case <-qw.done:
-		// A previous leader drained this op while we waited for the lock.
-		return qw.res, qw.err
-	default:
+	for {
+		select {
+		case <-qw.done:
+			// A leader (possibly this writer, on a previous loop pass)
+			// drained this op.
+			return qw.res, qw.err
+		default:
+		}
+		// This writer is the leader: drain a budget-bounded prefix of the
+		// queue into one clone→apply→publish cycle, and loop until its own
+		// op has gone through. The budget keeps one cycle's ops — which
+		// become a single WAL record — well under the codec's frame cap,
+		// so a burst of large writes publishes across a few cycles instead
+		// of failing every op in one oversized record. While this op is
+		// undone it is still queued (the queue only drains under writeMu,
+		// which we hold), so every pass makes progress.
+		s.queueMu.Lock()
+		batch, rest := splitDrain(s.writeQ)
+		s.writeQ = rest
+		s.queueMu.Unlock()
+		if len(batch) == 0 { // unreachable while qw is queued; fail closed
+			return nil, fmt.Errorf("serve: write dropped from the queue")
+		}
+		s.applyBatch(batch)
 	}
-	// This writer is the leader: drain everything queued so far (our own
-	// op included — it cannot have been taken, since the queue only
-	// drains under writeMu) into one clone→apply→publish cycle.
-	s.queueMu.Lock()
-	batch := s.writeQ
-	s.writeQ = nil
-	s.queueMu.Unlock()
-	s.applyBatch(batch)
-	return qw.res, qw.err
+}
+
+// drainBudget bounds the estimated encoded size of one publish cycle's
+// ops (and therefore of its WAL record). Estimates use
+// relation.Value.Size, which dominates the codec's per-value encoding,
+// so the bound holds on disk too — 64MB sits far under the wal
+// package's 256MB frame cap.
+const drainBudget = 64 << 20
+
+// splitDrain cuts the queue at the drain budget, always taking at
+// least one op (a single op bigger than the budget runs alone).
+func splitDrain(q []*queuedWrite) (batch, rest []*queuedWrite) {
+	size, n := 0, 0
+	for _, qw := range q {
+		sz := opSizeEstimate(qw.op)
+		if n > 0 && size+sz > drainBudget {
+			break
+		}
+		size += sz
+		n++
+	}
+	return q[:n:n], q[n:]
+}
+
+func opSizeEstimate(op WriteOp) int {
+	sz := len(op.Table) + 16 + 5*len(op.Delete)
+	for _, row := range op.Insert {
+		sz += 4
+		for _, v := range row {
+			sz += v.Size()
+		}
+	}
+	return sz
 }
 
 // applyBatch runs one clone→apply→publish cycle over a drained queue.
@@ -130,43 +178,99 @@ func (s *Server) applyBatch(batch []*queuedWrite) {
 	inserted, deleted := 0, 0
 	for _, qw := range batch {
 		op := qw.op
-		// Validate the insert side before applying the deletes:
-		// DeleteBatch validates on its own before mutating, so after this
-		// check the whole op either applies or leaves the clone
-		// untouched — a skipped op can never leave half of itself behind.
+		// Validate before mutating, then apply the inserts before the
+		// deletes. InsertBatch is the only call that can fail after its
+		// validation passed (it fails closed), and it re-validates before
+		// touching the graph — so a failed op always leaves the shared
+		// clone exactly as it found it, and the rest of the drain
+		// publishes untorn. (The previous delete-first order could
+		// publish a failed op's deletes.) Within one op the order is
+		// immaterial: deletes name vertices that predate the op, never
+		// the ones its inserts create. The up-front ValidateDelete runs
+		// only for mixed ops, where atomicity needs it settled before the
+		// insert applies; a pure-delete op leans on DeleteBatch's own
+		// all-or-nothing validation instead of being scanned twice.
+		mixed := len(op.Insert) > 0 && len(op.Delete) > 0
 		if len(op.Insert) > 0 {
 			if qw.err = next.ValidateInsert(op.Table, op.Insert); qw.err != nil {
 				continue
 			}
 		}
-		if len(op.Delete) > 0 {
-			if qw.err = next.DeleteBatch(op.Delete); qw.err != nil {
+		if mixed {
+			if qw.err = next.ValidateDelete(op.Delete); qw.err != nil {
 				continue
 			}
 		}
-		qw.res = &WriteResult{Deleted: len(op.Delete)}
+		res := &WriteResult{Deleted: len(op.Delete)}
 		if len(op.Insert) > 0 {
-			ids, err := next.InsertBatch(op.Table, op.Insert)
+			ids, err := insertBatch(next, op.Table, op.Insert)
 			if err != nil { // unreachable after ValidateInsert; fail closed
-				qw.err, qw.res = err, nil
+				qw.err = err
 				continue
 			}
-			qw.res.Inserted = ids
+			res.Inserted = ids
 		}
+		if len(op.Delete) > 0 {
+			if err := next.DeleteBatch(op.Delete); err != nil {
+				if !mixed {
+					// Pure delete: DeleteBatch validated before mutating, so
+					// the clone is untouched — skip the op like any other
+					// validation failure.
+					qw.err = err
+					continue
+				}
+				// Unreachable: a mixed op passed ValidateDelete up front, and
+				// inserts cannot invalidate a delete. If it ever fires, the
+				// clone already holds this op's inserts, so publishing would
+				// tear — abandon the whole cycle (the deferred recover fails
+				// every op and discards the clone unpublished).
+				panic(fmt.Errorf("delete failed after validation: %w", err))
+			}
+		}
+		qw.res = res
 		inserted += len(op.Insert)
 		deleted += len(op.Delete)
 		applied = append(applied, qw)
 	}
-	if len(applied) > 0 {
-		gen := s.publish(next, len(applied), inserted, deleted)
-		elapsed := time.Since(start)
-		for _, qw := range applied {
-			qw.res.Epoch = gen.Epoch
-			qw.res.Coalesced = len(applied)
-			qw.res.Elapsed = elapsed
+	if len(applied) == 0 {
+		return
+	}
+	// Durability barrier: the record must be on the log (synced per its
+	// policy) before the swap makes the batch visible, so the log is
+	// always a prefix-consistent history of what was ever served. The
+	// epoch is stable here — the caller holds writeMu, which publish
+	// relies on too. During boot-time replay s.wal is still nil, so
+	// replayed batches are not re-appended.
+	if s.wal != nil {
+		rec := &wal.Record{Epoch: s.gen.Load().Epoch + 1, Ops: make([]wal.Op, len(applied))}
+		for i, qw := range applied {
+			rec.Ops[i] = wal.Op{Table: qw.op.Table, Insert: qw.op.Insert, Delete: qw.op.Delete}
+		}
+		if err := s.wal.Append(rec); err != nil {
+			// Applied to the clone but not logged: acknowledging it would
+			// let a crash forget an acknowledged write. Fail the cycle —
+			// the clone is discarded unpublished and the served state is
+			// unchanged, keeping the log's prefix guarantee intact.
+			err = fmt.Errorf("serve: wal append: %w", err)
+			for _, qw := range applied {
+				qw.res, qw.err = nil, err
+			}
+			return
 		}
 	}
+	gen := s.publish(next, len(applied), inserted, deleted)
+	elapsed := time.Since(start)
+	for _, qw := range applied {
+		qw.res.Epoch = gen.Epoch
+		qw.res.Coalesced = len(applied)
+		qw.res.Elapsed = elapsed
+	}
 }
+
+// insertBatch indirects tag.Graph.InsertBatch so the torn-op regression
+// test can inject a failure on the "unreachable after validation" path
+// and prove a failed op leaves the shared clone untouched.
+var insertBatch = (*tag.Graph).InsertBatch
 
 // InsertBatch publishes rows appended to table.
 func (m *Maintainer) InsertBatch(table string, rows []relation.Tuple) (*WriteResult, error) {

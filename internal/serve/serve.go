@@ -19,7 +19,14 @@ package serve
 
 import (
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +36,7 @@ import (
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/tag"
+	"repro/internal/wal"
 )
 
 // Options configures a Server.
@@ -49,6 +57,19 @@ type Options struct {
 	// once full, so a hot working set of statements survives bursts of
 	// one-off queries.
 	PreparedLimit int
+
+	// WALDir enables write durability: every published batch is appended
+	// to an append-only WriteOp log in this directory *before* the
+	// generation swap, and Open replays the log on boot — rebuilding the
+	// exact pre-crash epoch sequence. Empty disables the WAL. Only Open
+	// honors these fields; New always builds a memory-only server.
+	WALDir string
+	// WALSync selects the log's sync policy (default wal.SyncInterval:
+	// group-commit fsyncs, bounded loss at near-unsynced throughput).
+	WALSync wal.Policy
+	// WALSyncInterval bounds the fsync lag under wal.SyncInterval;
+	// defaults to 100ms.
+	WALSyncInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +81,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PreparedLimit <= 0 {
 		o.PreparedLimit = 1024
+	}
+	if o.WALSyncInterval <= 0 {
+		o.WALSyncInterval = 100 * time.Millisecond
 	}
 	return o
 }
@@ -82,6 +106,12 @@ type Stats struct {
 	RowsInserted    int64  // rows applied through the Maintainer
 	RowsDeleted     int64  // rows removed through the Maintainer
 	GenerationsLive int64  // published but not yet drained generations
+
+	// Durability (the WriteOp WAL; all zero on a memory-only server).
+	WALRecords  int64 // records appended since boot (one per published batch)
+	WALBytes    int64 // bytes appended since boot (frame headers included)
+	WALFsyncs   int64 // fsyncs issued by the sync policy
+	WALReplayed int64 // epochs rebuilt from the log at boot
 }
 
 // String renders the stats compactly.
@@ -123,6 +153,14 @@ type Server struct {
 
 	prepared preparedCache
 
+	// wal, when non-nil, receives one record per publish cycle before
+	// the generation swap (see Maintainer). It is attached by Open after
+	// replay finishes, so replayed batches are never re-appended; it is
+	// never changed afterwards, and applyBatch runs under writeMu, so
+	// the plain read there is safe.
+	wal         *wal.Writer
+	walReplayed int64
+
 	statsMu sync.Mutex
 	stats   Stats
 }
@@ -143,8 +181,158 @@ func New(g *tag.Graph, opts Options) *Server {
 	return s
 }
 
+// Open is New plus durability. When opts.WALDir is set it recovers the
+// write-ahead log in that directory (truncating any tail torn by a
+// crash), replays every logged batch through the maintenance path —
+// one publish cycle per record, so the rebuilt server walks the exact
+// epoch sequence the log recorded — and only then attaches the log, so
+// new writes are appended (and synced per opts.WALSync) before their
+// generation swap. Replay relies on the write path being deterministic:
+// re-applying the same ops to the same base graph assigns the same
+// tuple-vertex ids, which keeps logged delete ids valid.
+//
+// With an empty WALDir, Open is exactly New.
+func Open(g *tag.Graph, opts Options) (*Server, error) {
+	s := New(g, opts)
+	if opts.WALDir == "" {
+		return s, nil
+	}
+	opts = opts.withDefaults()
+	w, err := wal.Open(opts.WALDir, wal.Options{Policy: opts.WALSync, Interval: opts.WALSyncInterval})
+	if err != nil {
+		return nil, err
+	}
+	// Bind the log to this base catalog before replaying: logged delete
+	// ids resolve by position, so replaying onto a different base (other
+	// workload, scale, or generator seed) would silently delete
+	// unrelated rows. The first Open of a dir claims it; later Opens
+	// must present the same base.
+	fp := baseFingerprint(g)
+	fpPath := filepath.Join(opts.WALDir, baseFPFile)
+	if data, err := os.ReadFile(fpPath); err == nil {
+		if have := strings.TrimSpace(string(data)); have != fp {
+			w.Close()
+			return nil, fmt.Errorf("serve: wal dir %s belongs to a different base catalog (log base %s, this server %s); replaying it here would rewrite history",
+				opts.WALDir, have, fp)
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		// Claim atomically (temp + fsync + rename): a crash mid-claim must
+		// not leave a partial fingerprint that bricks the dir with a bogus
+		// "different base" refusal on every later boot.
+		if err := writeFileAtomic(fpPath, []byte(fp+"\n")); err != nil {
+			w.Close()
+			return nil, fmt.Errorf("serve: claiming wal dir: %w", err)
+		}
+	} else {
+		w.Close()
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	st, err := wal.Replay(opts.WALDir, func(rec *wal.Record) error {
+		batch := make([]*queuedWrite, len(rec.Ops))
+		for i, op := range rec.Ops {
+			batch[i] = &queuedWrite{
+				op:   WriteOp{Table: op.Table, Insert: op.Insert, Delete: op.Delete},
+				done: make(chan struct{}),
+			}
+		}
+		s.writeMu.Lock()
+		s.applyBatch(batch)
+		s.writeMu.Unlock()
+		for i, qw := range batch {
+			// Only applied ops were logged, so a replay failure means the
+			// log and the base graph have diverged — refuse to serve a
+			// state that differs from what was acknowledged.
+			if qw.err != nil {
+				return fmt.Errorf("serve: replaying op %d of epoch %d: %w", i, rec.Epoch, qw.err)
+			}
+			if qw.res.Epoch != rec.Epoch {
+				return fmt.Errorf("serve: replay produced epoch %d for logged epoch %d", qw.res.Epoch, rec.Epoch)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		return nil, err
+	}
+	s.walReplayed = st.Records
+	s.wal = w
+	return s, nil
+}
+
+// baseFPFile sits next to the log and names the base catalog it was
+// recorded against.
+const baseFPFile = "base.fp"
+
+// writeFileAtomic writes data so a crash leaves either no file or the
+// complete one: temp file in the same dir, fsync, rename over the
+// target.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Flush the dirent too: without it a power loss can drop the rename
+	// while keeping the log, and the next boot would mis-claim the dir.
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// baseFingerprint identifies a base catalog: graph size, every table's
+// name, schema and row count, plus a row-content sample (so the same
+// shape generated from a different seed does not pass). Deterministic
+// generators rebuild the identical catalog, hence the identical
+// fingerprint, across restarts.
+func baseFingerprint(g *tag.Graph) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "graph %d %d\n", g.G.NumVertices(), g.G.NumEdges())
+	names := g.Catalog.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		rel := g.Catalog.Get(name)
+		fmt.Fprintf(h, "table %s rows %d cols", name, rel.Len())
+		for _, col := range rel.Schema.Columns {
+			fmt.Fprintf(h, " %s:%s", col.Name, col.Kind)
+		}
+		fmt.Fprintln(h)
+		if rel.Len() > 0 {
+			fmt.Fprintf(h, "first %v last %v\n", rel.Tuples[0], rel.Tuples[rel.Len()-1])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Graph returns the currently served TAG graph (the head generation's).
 func (s *Server) Graph() *tag.Graph { return s.gen.Load().Graph }
+
+// WAL returns the attached write-ahead log, or nil on a memory-only
+// server. Callers may Sync it to force durability ahead of the sync
+// policy; appends stay owned by the maintenance path. Truncate is the
+// compaction hook, but note its contract: truncation resets the replay
+// baseline, so it is only correct once a snapshot that replaces the
+// *base graph of the next Open* has been durably written — and no
+// snapshot-load path exists yet (see ROADMAP), so today a truncated
+// log can only recover onto a base already equal to the served state.
+func (s *Server) WAL() *wal.Writer { return s.wal }
 
 // Generation returns the currently served generation. The caller must
 // not mutate it; to keep it alive across its own queries, use Query,
@@ -233,6 +421,30 @@ func (s *Server) Query(query string) (*Result, error) {
 	s.stats.InFlight++
 	s.statsMu.Unlock()
 
+	// Every exit below must undo the in-flight count — including a query
+	// that panics inside Run: net/http recovers handler panics, so the
+	// process would survive with InFlight permanently inflated and the
+	// failure never counted. The decrement and the outcome accounting
+	// therefore live in one deferred closure (res stays nil on the error
+	// and panic paths), mirroring the generation-pin and pool-slot defers
+	// below.
+	var res *Result
+	defer func() {
+		s.statsMu.Lock()
+		s.stats.InFlight--
+		if res == nil {
+			s.stats.Errors++
+		} else {
+			s.stats.Queries++
+			s.stats.TotalTime += res.Elapsed
+			if res.Elapsed > s.stats.MaxTime {
+				s.stats.MaxTime = res.Elapsed
+			}
+			s.stats.Cost.Add(res.Cost)
+		}
+		s.statsMu.Unlock()
+	}()
+
 	// Unpin via defer so a panicking query (recovered by net/http) cannot
 	// leak the generation pin or the pool slot.
 	gen := s.acquireGen()
@@ -241,30 +453,21 @@ func (s *Server) Query(query string) (*Result, error) {
 	defer gen.pool.Release(sess)
 	start := time.Now()
 	before := sess.Stats()
-	rows, err := sess.Run(an)
+	rows, err := runSession(sess, an)
 	after := sess.Stats()
 	elapsed := time.Since(start)
-	res := &Result{Rows: rows, Info: sess.Info, Elapsed: elapsed, Prepared: hit,
-		Cost: after.Sub(before), Epoch: gen.Epoch}
-
-	s.statsMu.Lock()
-	s.stats.InFlight--
-	if err != nil {
-		s.stats.Errors++
-	} else {
-		s.stats.Queries++
-		s.stats.TotalTime += elapsed
-		if elapsed > s.stats.MaxTime {
-			s.stats.MaxTime = elapsed
-		}
-		s.stats.Cost.Add(res.Cost)
-	}
-	s.statsMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
+	res = &Result{Rows: rows, Info: sess.Info, Elapsed: elapsed, Prepared: hit,
+		Cost: after.Sub(before), Epoch: gen.Epoch}
 	return res, nil
 }
+
+// runSession indirects Session.Run so tests can inject failures — and
+// panics — into the execution stage without needing a query that
+// triggers them organically.
+var runSession = (*core.Session).Run
 
 // Stats returns a snapshot of the aggregate serving statistics.
 func (s *Server) Stats() Stats {
@@ -273,6 +476,13 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	st.Epoch = s.gen.Load().Epoch
 	st.GenerationsLive = s.live.Load()
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WALRecords = ws.Records
+		st.WALBytes = ws.Bytes
+		st.WALFsyncs = ws.Fsyncs
+	}
+	st.WALReplayed = s.walReplayed
 	return st
 }
 

@@ -133,10 +133,13 @@ func (t *Graph) DeleteTuple(v bsp.VertexID) error {
 	return t.DeleteBatch([]bsp.VertexID{v})
 }
 
-// DeleteBatch removes many tuple vertices with a single Thaw/Freeze
-// cycle (the batched counterpart of DeleteTuple). The whole batch is
-// validated before any mutation, so on error the graph is unchanged.
-func (t *Graph) DeleteBatch(vs []bsp.VertexID) error {
+// ValidateDelete checks everything DeleteBatch would reject — every id
+// names a live tuple vertex, none appears twice — without mutating
+// anything. DeleteBatch runs it before touching the graph, and the
+// serving layer's write coalescer runs it up front (alongside
+// ValidateInsert) so a bad op is skipped while the rest of a coalesced
+// batch proceeds on the shared clone, never tearing it.
+func (t *Graph) ValidateDelete(vs []bsp.VertexID) error {
 	for _, v := range vs {
 		if v < 0 || int(v) >= t.G.NumVertices() {
 			return fmt.Errorf("tag: no vertex %d", v)
@@ -155,6 +158,16 @@ func (t *Graph) DeleteBatch(vs []bsp.VertexID) error {
 			return fmt.Errorf("tag: vertex %d appears twice in batch", v)
 		}
 		seen[v] = true
+	}
+	return nil
+}
+
+// DeleteBatch removes many tuple vertices with a single Thaw/Freeze
+// cycle (the batched counterpart of DeleteTuple). The whole batch is
+// validated before any mutation, so on error the graph is unchanged.
+func (t *Graph) DeleteBatch(vs []bsp.VertexID) error {
+	if err := t.ValidateDelete(vs); err != nil {
+		return err
 	}
 	if len(vs) == 0 {
 		return nil

@@ -1,0 +1,785 @@
+// Package wal is the durability substrate of the serving layer: an
+// append-only, length-prefixed, CRC-checked log of published write
+// batches. The maintenance path appends one Record per publish cycle —
+// every op that made it into a generation, stamped with the epoch that
+// generation got — *before* the generation swap, so the on-disk log is
+// always a prefix-consistent history of the served state: replaying
+// records 1..k through the same maintenance path rebuilds exactly the
+// state epoch k served, for every k.
+//
+// On-disk format, per record:
+//
+//	uint32  payload length (little-endian)
+//	uint32  CRC-32C (Castagnoli) of the payload
+//	bytes   payload
+//
+// The payload is a varint-packed encoding of the record: epoch, then
+// each op's table name, insert tuples (kind-tagged values) and delete
+// vertex ids. A record is valid only if it is complete and its CRC
+// matches, so a crash mid-append (a torn tail) is detected, not
+// replayed: Open truncates the log back to its longest valid prefix
+// before appending, and Replay stops cleanly at the first invalid
+// record.
+//
+// Sync policy is the durability/throughput dial: SyncAlways fsyncs
+// every append (no acknowledged write is ever lost), SyncInterval
+// fsyncs at most once per interval (group commit — bounded loss,
+// near-unsynced throughput), SyncNever leaves flushing to the OS.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/relation"
+)
+
+// Op is one logged write: rows inserted into Table and/or tuple
+// vertices deleted. It mirrors serve.WriteOp (wal cannot import serve —
+// serve imports wal for the sync policy).
+type Op struct {
+	Table  string
+	Insert []relation.Tuple
+	Delete []bsp.VertexID
+}
+
+// Record is one published batch: every op that shared one generation
+// publish, stamped with the epoch that publish produced.
+type Record struct {
+	Epoch uint64
+	Ops   []Op
+}
+
+// Policy selects when appended records reach stable storage.
+type Policy int
+
+const (
+	// SyncInterval fsyncs at most once per Options.Interval (group
+	// commit): piggybacked on appends while traffic is steady, and via a
+	// one-shot background timer when it pauses — so the lag is bounded
+	// even for the last write before an idle stretch. A crash loses at
+	// most one interval of acknowledged writes. The default.
+	SyncInterval Policy = iota
+	// SyncAlways fsyncs every append before it is acknowledged.
+	SyncAlways
+	// SyncNever never fsyncs (except on Close); flushing is left to the
+	// OS page cache. A machine crash can lose everything since the last
+	// writeback, but a process crash loses nothing.
+	SyncNever
+)
+
+// String returns the flag-friendly name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy parses a flag-friendly policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (always|interval|never)", s)
+}
+
+// Options configures a Writer.
+type Options struct {
+	Policy Policy
+	// Interval bounds the fsync lag under SyncInterval; defaults to
+	// 100ms. Ignored by the other policies.
+	Interval time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	return o
+}
+
+// WriterStats counts a Writer's activity since Open.
+type WriterStats struct {
+	Records int64 // records appended
+	Bytes   int64 // bytes appended (headers included)
+	Fsyncs  int64 // fsyncs issued by the sync policy (and Close/Truncate)
+}
+
+const (
+	fileName   = "wal.log"
+	lockName   = "wal.lock"
+	headerSize = 8
+	// maxRecordBytes bounds a length prefix before the payload is read
+	// into memory. One record is one publish cycle; 256MB is far beyond
+	// any real coalesced batch while keeping the worst-case read of a
+	// corrupt-but-plausible header modest.
+	maxRecordBytes = 256 << 20
+	// maxScratchBytes bounds the encode buffer kept across appends;
+	// larger one-off buffers are released after use.
+	maxScratchBytes = 1 << 20
+	// maxCapHint caps the capacity pre-allocated from a decoded element
+	// count. Counts are validated against the payload's remaining bytes,
+	// but in-memory elements are up to ~64x larger than their minimal
+	// encoding — so slices grow by append (bounded by the bytes actually
+	// present) instead of trusting the count up front.
+	maxCapHint = 4096
+)
+
+// capHint bounds an up-front slice capacity taken from decoded input.
+func capHint(n int) int {
+	if n > maxCapHint {
+		return maxCapHint
+	}
+	return n
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks an incomplete or corrupt record: the point where a
+// crash interrupted an append. Everything before it is trustworthy;
+// nothing at or after it is.
+var errTorn = errors.New("wal: torn record")
+
+// Writer appends records to the log in dir. Open recovers first:
+// the file is truncated back to its longest valid prefix, so a tail
+// torn by a crash can never be followed by (and thereby corrupt) new
+// records. Methods are safe for concurrent use, though the serving
+// layer serializes appends under its writer lock anyway.
+type Writer struct {
+	mu       sync.Mutex
+	f        *os.File
+	lock     *os.File // flock'd wal.lock; held until Close, released by the kernel on crash
+	path     string
+	opts     Options
+	off      int64 // end of the last fully-appended record
+	lastSync time.Time
+	scratch  []byte
+	stats    WriterStats
+	closed   bool
+	// syncPending is set while a background interval fsync is armed.
+	syncPending bool
+	// failed poisons the writer: a partial append could not be rewound
+	// (or a background fsync failed), so acknowledging further writes
+	// would break the durability contract. Every later Append errors.
+	failed error
+}
+
+// Open creates dir if needed, takes an exclusive advisory lock on it,
+// truncates any torn tail off the log, and returns a Writer positioned
+// after the last valid record. Use Replay (before appending anything)
+// to rebuild state from the valid prefix.
+//
+// The lock (flock on wal.lock) refuses a second concurrent Writer on
+// the same dir: two writers would truncate and append over each
+// other's frames and silently destroy acknowledged records. A crashed
+// process's lock is released by the kernel, so recovery never needs a
+// manual unlock.
+func Open(dir string, opts Options) (*Writer, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("wal: dir %s already has a live writer (flock: %w)", dir, err)
+	}
+	path := filepath.Join(dir, fileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	fail := func(err error) (*Writer, error) {
+		f.Close()
+		lock.Close()
+		return nil, err
+	}
+	valid, err := scanValidPrefix(f)
+	if err != nil {
+		return fail(err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return fail(fmt.Errorf("wal: %w", err))
+	}
+	if fi.Size() > valid {
+		if err := f.Truncate(valid); err != nil {
+			return fail(fmt.Errorf("wal: truncating torn tail: %w", err))
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		return fail(fmt.Errorf("wal: %w", err))
+	}
+	// Make the directory entries themselves durable: fsyncing file data
+	// does nothing for a dirent the journal never flushed — a power loss
+	// could otherwise drop wal.log wholesale, acknowledged writes and
+	// all.
+	if err := syncDir(dir); err != nil {
+		return fail(fmt.Errorf("wal: %w", err))
+	}
+	return &Writer{f: f, lock: lock, path: path, opts: opts, off: valid, lastSync: time.Now()}, nil
+}
+
+// syncDir fsyncs a directory, making its entries durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// scanValidPrefix returns the byte length of the longest valid record
+// prefix of the log. It checks frames and CRCs only — no payload
+// decoding — so measuring a large log costs one sequential read, not a
+// full materialization of every logged tuple (Replay decodes once,
+// right after).
+func scanValidPrefix(f *os.File) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := skipFrame(br, buf)
+		switch {
+		case err == nil:
+			off += n
+		case errors.Is(err, io.EOF), errors.Is(err, errTorn):
+			return off, nil
+		default:
+			return 0, err
+		}
+	}
+}
+
+// skipFrame validates one frame (length prefix + CRC) while streaming
+// the payload through a reused buffer — measuring a large log never
+// materializes its records.
+func skipFrame(br *bufio.Reader, buf []byte) (int64, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, errTorn
+		}
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > maxRecordBytes {
+		return 0, errTorn
+	}
+	var crc uint32
+	for remaining := int(n); remaining > 0; {
+		chunk := buf
+		if remaining < len(chunk) {
+			chunk = chunk[:remaining]
+		}
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return 0, errTorn
+			}
+			return 0, fmt.Errorf("wal: %w", err)
+		}
+		crc = crc32.Update(crc, castagnoli, chunk)
+		remaining -= len(chunk)
+	}
+	if crc != want {
+		return 0, errTorn
+	}
+	return int64(headerSize) + int64(n), nil
+}
+
+// Append encodes rec and writes it to the log in one write call, then
+// syncs per the policy. The record is visible to Replay as soon as
+// Append returns; it is durable per the sync policy.
+func (w *Writer) Append(rec *Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: writer is closed")
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+	if cap(w.scratch) < headerSize {
+		w.scratch = make([]byte, headerSize, 4096)
+	}
+	buf, err := encodePayload(w.scratch[:headerSize], rec)
+	if err != nil {
+		return err
+	}
+	// Reuse the encode buffer across appends, but do not let one
+	// outsized record pin tens of MB for the writer's lifetime.
+	if cap(buf) <= maxScratchBytes {
+		w.scratch = buf[:0]
+	} else {
+		w.scratch = nil
+	}
+	payload := buf[headerSize:]
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), maxRecordBytes)
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	if n, err := w.f.Write(buf); err != nil {
+		// A short write leaves a partial frame on disk. Rewind to the
+		// last good offset: appending after the garbage would put valid,
+		// acknowledged records *behind* a torn one, and the next recovery
+		// would silently truncate them away. If the rewind itself fails,
+		// poison the writer — better to refuse every later write than to
+		// acknowledge one that replay can never see.
+		if n > 0 {
+			if terr := w.f.Truncate(w.off); terr != nil {
+				w.failed = fmt.Errorf("wal: log poisoned, partial append not rewindable: %v (during %v)", terr, err)
+				return w.failed
+			}
+			if _, serr := w.f.Seek(w.off, io.SeekStart); serr != nil {
+				w.failed = fmt.Errorf("wal: log poisoned, cannot reposition after rewind: %v (during %v)", serr, err)
+				return w.failed
+			}
+		}
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.off += int64(len(buf))
+	w.stats.Records++
+	w.stats.Bytes += int64(len(buf))
+	switch w.opts.Policy {
+	case SyncAlways:
+		return w.syncLocked()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.opts.Interval {
+			return w.syncLocked()
+		}
+		// Bound the lag even if no further append ever arrives: arm a
+		// one-shot background fsync for the rest of the interval.
+		if !w.syncPending {
+			w.syncPending = true
+			time.AfterFunc(w.opts.Interval-time.Since(w.lastSync), w.backgroundSync)
+		}
+	}
+	return nil
+}
+
+// backgroundSync is the deferred half of the SyncInterval contract: it
+// fires once per armed interval and flushes whatever the piggybacked
+// path has not. A failure poisons the writer (syncLocked does it) —
+// silently dropping an fsync would break acknowledged durability with
+// no one noticing — and the next Append surfaces the error.
+func (w *Writer) backgroundSync() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.syncPending = false
+	if w.closed || w.failed != nil {
+		return
+	}
+	_ = w.syncLocked()
+}
+
+// Sync forces an fsync regardless of policy. A poisoned writer keeps
+// reporting its failure: a later fsync succeeding does not restore
+// pages the kernel already dropped, so "retry Sync until nil" must
+// never be able to mask lost acknowledged records.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: writer is closed")
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+	return w.syncLocked()
+}
+
+func (w *Writer) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		// A failed fsync poisons the writer. The just-written frame may
+		// or may not reach disk (the kernel can drop the dirty pages
+		// while the bytes stay readable), so it can neither be trusted
+		// nor rewound; if appends continued, the next cycle would reuse
+		// this record's epoch and recovery would see two records claiming
+		// it. Refusing all further appends keeps the log unambiguous: at
+		// worst recovery replays one never-acknowledged record, which is
+		// the same harmless artifact as a crash between append and swap.
+		w.failed = fmt.Errorf("wal: log poisoned, fsync failed: %w", err)
+		return w.failed
+	}
+	w.stats.Fsyncs++
+	w.lastSync = time.Now()
+	return nil
+}
+
+// Truncate resets the log to empty — the compaction half of
+// snapshot-then-truncate. Call it only once the state the log protects
+// has been durably captured elsewhere (a snapshot): after Truncate, a
+// recovery replays nothing, so the snapshot is the new baseline — and
+// it must actually BE the baseline the next recovery starts from.
+// Records appended after a truncation carry post-snapshot epochs;
+// replaying them onto the original (pre-snapshot) base will be refused
+// by the consumer's epoch check rather than produce a wrong state.
+func (w *Writer) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: writer is closed")
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	w.off = 0
+	return w.syncLocked()
+}
+
+// Close fsyncs and closes the log.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	syncErr := w.f.Sync()
+	if syncErr == nil {
+		w.stats.Fsyncs++
+	}
+	closeErr := w.f.Close()
+	w.lock.Close() // releases the flock; a new Writer may Open the dir
+	if syncErr != nil {
+		return fmt.Errorf("wal: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: %w", closeErr)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the writer's counters.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Path returns the log file's path.
+func (w *Writer) Path() string { return w.path }
+
+// ReplayStats summarizes one Replay pass.
+type ReplayStats struct {
+	Records   int64  // valid records replayed
+	Bytes     int64  // bytes they span (headers included)
+	LastEpoch uint64 // epoch of the last replayed record (0 if none)
+	Torn      bool   // a torn tail record was detected and ignored
+}
+
+// Replay streams every valid record of the log in dir through fn, in
+// append order, stopping cleanly at the first torn record (reported in
+// the stats, not as an error — a torn tail is the expected crash
+// artifact, and everything before it is a consistent prefix). A missing
+// log is an empty log. An error from fn aborts the replay.
+func Replay(dir string, fn func(*Record) error) (ReplayStats, error) {
+	var st ReplayStats
+	f, err := os.Open(filepath.Join(dir, fileName))
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return st, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	for {
+		rec, n, err := readRecord(br)
+		if errors.Is(err, io.EOF) {
+			return st, nil
+		}
+		if errors.Is(err, errTorn) {
+			st.Torn = true
+			return st, nil
+		}
+		if err != nil {
+			return st, err
+		}
+		if err := fn(rec); err != nil {
+			return st, err
+		}
+		st.Records++
+		st.Bytes += n
+		st.LastEpoch = rec.Epoch
+	}
+}
+
+// readFrame reads one length-prefixed, CRC-checked payload. io.EOF
+// means a clean end of log; errTorn means an incomplete or corrupt
+// record starts here.
+func readFrame(br *bufio.Reader) ([]byte, int64, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, 0, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, errTorn
+		}
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > maxRecordBytes {
+		return nil, 0, errTorn
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, errTorn
+		}
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, 0, errTorn
+	}
+	return payload, int64(headerSize) + int64(n), nil
+}
+
+// readRecord is readFrame plus payload decoding. A CRC-valid but
+// undecodable payload is reported as torn too — a CRC pass means the
+// bytes are exactly what Append wrote, so this is only reachable
+// through an encoder bug, not crash damage.
+func readRecord(br *bufio.Reader) (*Record, int64, error) {
+	payload, n, err := readFrame(br)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return nil, 0, errTorn
+	}
+	return rec, n, nil
+}
+
+// encodePayload appends the varint-packed encoding of rec to b.
+func encodePayload(b []byte, rec *Record) ([]byte, error) {
+	b = binary.AppendUvarint(b, rec.Epoch)
+	b = binary.AppendUvarint(b, uint64(len(rec.Ops)))
+	for _, op := range rec.Ops {
+		b = binary.AppendUvarint(b, uint64(len(op.Table)))
+		b = append(b, op.Table...)
+		b = binary.AppendUvarint(b, uint64(len(op.Insert)))
+		for _, row := range op.Insert {
+			b = binary.AppendUvarint(b, uint64(len(row)))
+			for _, v := range row {
+				var err error
+				if b, err = encodeValue(b, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		b = binary.AppendUvarint(b, uint64(len(op.Delete)))
+		for _, id := range op.Delete {
+			b = binary.AppendVarint(b, int64(id))
+		}
+	}
+	return b, nil
+}
+
+func encodeValue(b []byte, v relation.Value) ([]byte, error) {
+	b = append(b, byte(v.Kind))
+	switch v.Kind {
+	case relation.KindNull:
+	case relation.KindInt, relation.KindDate, relation.KindBool:
+		b = binary.AppendVarint(b, v.I)
+	case relation.KindFloat:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F))
+	case relation.KindString:
+		b = binary.AppendUvarint(b, uint64(len(v.S)))
+		b = append(b, v.S...)
+	default:
+		return nil, fmt.Errorf("wal: unencodable value kind %v", v.Kind)
+	}
+	return b, nil
+}
+
+// decoder is a bounds-checked cursor over one record payload.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, errTorn
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		return 0, errTorn
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.b) {
+		return nil, errTorn
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out, nil
+}
+
+// length reads a collection length and sanity-bounds it against the
+// bytes remaining — every element consumes at least one payload byte,
+// so a count the payload cannot back is corruption. (Allocation is
+// separately capped via capHint: decoded elements can be ~64x larger
+// in memory than on disk, so counts are never trusted for up-front
+// make sizes.)
+func (d *decoder) length() (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(d.b)-d.off) {
+		return 0, errTorn
+	}
+	return int(v), nil
+}
+
+func decodePayload(b []byte) (*Record, error) {
+	d := &decoder{b: b}
+	epoch, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	nops, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{Epoch: epoch, Ops: make([]Op, 0, capHint(nops))}
+	for i := 0; i < nops; i++ {
+		var op Op
+		tn, err := d.length()
+		if err != nil {
+			return nil, err
+		}
+		tb, err := d.take(tn)
+		if err != nil {
+			return nil, err
+		}
+		op.Table = string(tb)
+		nins, err := d.length()
+		if err != nil {
+			return nil, err
+		}
+		if nins > 0 {
+			op.Insert = make([]relation.Tuple, 0, capHint(nins))
+			for j := 0; j < nins; j++ {
+				arity, err := d.length()
+				if err != nil {
+					return nil, err
+				}
+				row := make(relation.Tuple, 0, capHint(arity))
+				for k := 0; k < arity; k++ {
+					v, err := d.value()
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, v)
+				}
+				op.Insert = append(op.Insert, row)
+			}
+		}
+		ndel, err := d.length()
+		if err != nil {
+			return nil, err
+		}
+		if ndel > 0 {
+			op.Delete = make([]bsp.VertexID, 0, capHint(ndel))
+			for j := 0; j < ndel; j++ {
+				id, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				op.Delete = append(op.Delete, bsp.VertexID(id))
+			}
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	if d.off != len(d.b) {
+		return nil, errTorn
+	}
+	return rec, nil
+}
+
+func (d *decoder) value() (relation.Value, error) {
+	kb, err := d.take(1)
+	if err != nil {
+		return relation.Null, err
+	}
+	switch k := relation.Kind(kb[0]); k {
+	case relation.KindNull:
+		return relation.Null, nil
+	case relation.KindInt, relation.KindDate, relation.KindBool:
+		i, err := d.varint()
+		if err != nil {
+			return relation.Null, err
+		}
+		return relation.Value{Kind: k, I: i}, nil
+	case relation.KindFloat:
+		fb, err := d.take(8)
+		if err != nil {
+			return relation.Null, err
+		}
+		return relation.Float(math.Float64frombits(binary.LittleEndian.Uint64(fb))), nil
+	case relation.KindString:
+		n, err := d.length()
+		if err != nil {
+			return relation.Null, err
+		}
+		sb, err := d.take(n)
+		if err != nil {
+			return relation.Null, err
+		}
+		return relation.Str(string(sb)), nil
+	default:
+		return relation.Null, errTorn
+	}
+}
