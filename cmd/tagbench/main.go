@@ -23,6 +23,9 @@
 //	wal         write durability: ingest throughput through the WriteOp
 //	            write-ahead log under each sync policy (always /
 //	            group-commit interval / never) vs the memory-only path
+//	recover     boot time from one crash image, with a mid-log
+//	            checkpoint (snapshot-load + suffix replay) vs without
+//	            it (full WAL replay), plus replayed-record counts
 //	all         everything above
 //
 // -exp accepts a comma-separated list (e.g. -exp engine,combine); an
@@ -46,7 +49,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|wal|all")
+	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|wal|recover|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
@@ -93,6 +96,7 @@ func main() {
 		{"engine", func() error { return runEngine(cfg, *quick, report) }},
 		{"combine", func() error { return runCombine(cfg, *quick, report) }},
 		{"wal", func() error { return runWal(cfg, *quick, report) }},
+		{"recover", func() error { return runRecover(cfg, *quick, report) }},
 	}
 	valid := map[string]bool{"all": true}
 	var names []string
@@ -188,6 +192,28 @@ func runWal(cfg bench.Config, quick bool, report map[string]any) error {
 		all = append(all, results...)
 	}
 	report["wal"] = all
+	return nil
+}
+
+func runRecover(cfg bench.Config, quick bool, report map[string]any) error {
+	batches, batchRows := 20, 500
+	workloads := []string{"tpch", "tpcds"}
+	if quick {
+		batches, batchRows = 40, 200
+		workloads = []string{"tpch"}
+	}
+	var all []bench.RecoverResult
+	for _, workload := range workloads {
+		results, err := bench.RecoverBench(cfg, workload, batches, batchRows)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			bench.PrintRecover(cfg.Out, res)
+		}
+		all = append(all, results...)
+	}
+	report["recover"] = all
 	return nil
 }
 

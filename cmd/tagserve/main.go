@@ -8,10 +8,14 @@
 //
 // With -wal <dir>, writes are durable: every published batch is
 // appended to a write-ahead log (synced per -wal-sync) before its
-// generation swap, and on boot the log is replayed through the same
-// maintenance path, rebuilding the exact pre-crash epoch sequence —
-// kill the process mid-stream and restart it, and it answers as the
-// uninterrupted server would.
+// generation swap. On boot the server loads the newest valid
+// checkpoint in the dir and replays only the log suffix past it (full
+// replay when there is none) — kill the process mid-stream and restart
+// it, and it answers as the uninterrupted server would. With
+// -checkpoint-interval N (and/or -checkpoint-bytes), a background
+// checkpointer snapshots the served graph every N epochs and truncates
+// the covered log prefix, keeping both the log and the next boot's
+// replay work bounded.
 //
 // Endpoints:
 //
@@ -58,6 +62,9 @@ func main() {
 	walDir := flag.String("wal", "", "write-ahead log directory (empty = memory-only): replay on boot, append while serving")
 	walSync := flag.String("wal-sync", "interval", "WAL sync policy: always|interval|never")
 	walInterval := flag.Duration("wal-interval", 100*time.Millisecond, "max fsync lag under -wal-sync interval")
+	ckptEvery := flag.Int("checkpoint-interval", 0, "checkpoint the served graph and truncate the covered WAL prefix every N epochs (0 = never; requires -wal)")
+	ckptBytes := flag.Int64("checkpoint-bytes", 0, "also checkpoint after this many bytes of WAL growth (0 = no byte trigger)")
+	adaptive := flag.Bool("adaptive-combine", false, "drop a query's message combiner mid-run when folds are rare (per-run sampling)")
 	flag.Parse()
 
 	walPolicy, err := wal.ParsePolicy(*walSync)
@@ -85,11 +92,13 @@ func main() {
 	}
 	srv, err := serve.Open(g, serve.Options{
 		Sessions:        *sessions,
-		Engine:          bsp.Options{Workers: *workers},
+		Engine:          bsp.Options{Workers: *workers, AdaptiveCombine: *adaptive},
 		PreparedLimit:   *prepared,
 		WALDir:          *walDir,
 		WALSync:         walPolicy,
 		WALSyncInterval: *walInterval,
+		CheckpointEvery: *ckptEvery,
+		CheckpointBytes: *ckptBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -104,7 +113,14 @@ func main() {
 	durability := "memory-only"
 	if *walDir != "" {
 		st := srv.Stats()
-		durability = fmt.Sprintf("wal %s (sync=%s, %d epochs replayed)", *walDir, walPolicy, st.WALReplayed)
+		durability = fmt.Sprintf("wal %s (sync=%s, %d epochs replayed", *walDir, walPolicy, st.WALReplayed)
+		if st.WALSkipped > 0 {
+			durability += fmt.Sprintf(", booted from checkpoint epoch %d covering %d", st.CheckpointEpoch, st.WALSkipped)
+		}
+		if *ckptEvery > 0 || *ckptBytes > 0 {
+			durability += fmt.Sprintf(", checkpoint every %d epochs/%d bytes", *ckptEvery, *ckptBytes)
+		}
+		durability += ")"
 	}
 	fmt.Printf("tagserve: %s at scale %g encoded in %v (%s); %d sessions, %s, %s, on %s\n",
 		*workload, *scale, time.Since(start).Round(time.Millisecond), g.G.String(), *sessions, mode, durability, *addr)

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/serve"
+	"repro/internal/tag"
+	"repro/internal/wal"
+)
+
+// RecoverResult is one scale's boot-time comparison: the same crash
+// image opened with its checkpoint (snapshot-load + suffix replay)
+// and without it (full WAL replay).
+type RecoverResult struct {
+	Workload  string
+	Scale     float64
+	BatchRows int
+	Batches   int // insert batches on each side of the checkpoint
+
+	BuildMS      float64 // tag.Build of the base graph (paid by every boot)
+	CheckpointMS float64 // Maintainer.Checkpoint wall time (snapshot write)
+	CheckpointMB float64 // checkpoint file size
+	WALRecords   int64   // records in the crash image's log
+
+	FullBootMS   float64 // serve.Open, checkpoint deleted
+	FullReplayed int64
+	SnapBootMS   float64 // serve.Open, checkpoint present
+	SnapReplayed int64
+	SnapSkipped  int64
+}
+
+// RecoverBench builds a crash image per scale — a WAL with batches
+// insert batches, a mid-log checkpoint (written without truncating, so
+// both boots read the same log), then batches more — and times the two
+// recovery paths against it. The checkpoint covers the first half, so
+// the snapshot boot should replay about half the records of the full
+// one; the gap between the boot times is what compaction buys.
+func RecoverBench(cfg Config, workload string, batches, batchRows int) ([]RecoverResult, error) {
+	cfg = cfg.withDefaults()
+	if batches <= 0 {
+		batches = 8
+	}
+	if batchRows <= 0 {
+		batchRows = 200
+	}
+	table := maintainTable[workload]
+	if table == "" {
+		return nil, fmt.Errorf("bench: no ingest table for workload %q", workload)
+	}
+
+	var out []RecoverResult
+	for _, scale := range cfg.Scales {
+		res := RecoverResult{Workload: workload, Scale: scale, BatchRows: batchRows, Batches: batches}
+		if err := runRecoverScale(&res, cfg, workload, table); err != nil {
+			return out, fmt.Errorf("bench: recover at scale %g: %w", scale, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func runRecoverScale(res *RecoverResult, cfg Config, workload, table string) error {
+	build := func() (*tag.Graph, time.Duration, error) {
+		cat := generate(workload, res.Scale, cfg.Seed)
+		t0 := time.Now()
+		g, err := tag.Build(cat, nil)
+		return g, time.Since(t0), err
+	}
+
+	g, buildDur, err := build()
+	if err != nil {
+		return err
+	}
+	res.BuildMS = float64(buildDur.Microseconds()) / 1e3
+
+	dir, err := os.MkdirTemp("", "recoverbench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srv, err := serve.Open(g, serve.Options{Sessions: 1, WALDir: dir, WALSync: wal.SyncNever})
+	if err != nil {
+		return err
+	}
+	maint := srv.Maintainer()
+	rel := g.Catalog.Get(table)
+	if rel == nil || rel.Len() == 0 {
+		return fmt.Errorf("no rows in table %q", table)
+	}
+	templates := &relation.Relation{Name: rel.Name, Schema: rel.Schema,
+		Tuples: append([]relation.Tuple(nil), rel.Tuples[:min(len(rel.Tuples), 4*res.BatchRows)]...)}
+	nextKey := int64(1) << 40
+	for i := 0; i < res.Batches; i++ {
+		if _, err := maint.InsertBatch(table, synthRows(templates, res.BatchRows, &nextKey)); err != nil {
+			return err
+		}
+	}
+
+	// Checkpoint mid-log without truncating: both boots below must be
+	// able to read the whole log.
+	t0 := time.Now()
+	ckptEpoch, err := maint.Checkpoint(false)
+	if err != nil {
+		return err
+	}
+	res.CheckpointMS = float64(time.Since(t0).Microseconds()) / 1e3
+	for i := 0; i < res.Batches; i++ {
+		if _, err := maint.InsertBatch(table, synthRows(templates, res.BatchRows, &nextKey)); err != nil {
+			return err
+		}
+	}
+	res.WALRecords = srv.Stats().WALRecords
+	if err := srv.WAL().Close(); err != nil { // the crash
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".ckpt") {
+			if fi, err := e.Info(); err == nil {
+				res.CheckpointMB = float64(fi.Size()) / (1 << 20)
+			}
+		}
+	}
+
+	boot := func(withCheckpoint bool) (float64, serve.Stats, error) {
+		bd, err := copyWALDir(dir, withCheckpoint)
+		if err != nil {
+			return 0, serve.Stats{}, err
+		}
+		defer os.RemoveAll(bd)
+		bg, _, err := build()
+		if err != nil {
+			return 0, serve.Stats{}, err
+		}
+		t0 := time.Now()
+		s, err := serve.Open(bg, serve.Options{Sessions: 1, WALDir: bd})
+		if err != nil {
+			return 0, serve.Stats{}, err
+		}
+		ms := float64(time.Since(t0).Microseconds()) / 1e3
+		st := s.Stats()
+		return ms, st, s.WAL().Close()
+	}
+
+	ms, st, err := boot(false)
+	if err != nil {
+		return err
+	}
+	res.FullBootMS, res.FullReplayed = ms, st.WALReplayed
+
+	ms, st, err = boot(true)
+	if err != nil {
+		return err
+	}
+	res.SnapBootMS, res.SnapReplayed, res.SnapSkipped = ms, st.WALReplayed, st.WALSkipped
+	if st.CheckpointEpoch != ckptEpoch {
+		return fmt.Errorf("snapshot boot loaded epoch %d, checkpointed %d", st.CheckpointEpoch, ckptEpoch)
+	}
+	return nil
+}
+
+// copyWALDir clones a crash image (log + fingerprint, optionally the
+// checkpoint files, never the lock) into a fresh temp dir so each boot
+// measurement reads a pristine copy.
+func copyWALDir(src string, withCheckpoints bool) (string, error) {
+	dst, err := os.MkdirTemp("", "recoverboot-")
+	if err != nil {
+		return "", err
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == "wal.lock" || (!withCheckpoints && strings.HasSuffix(name, ".ckpt")) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, name))
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+			return "", err
+		}
+	}
+	return dst, nil
+}
+
+// PrintRecover renders one scale's recovery comparison.
+func PrintRecover(w io.Writer, r RecoverResult) {
+	fmt.Fprintf(w, "\nRecovery boot time — %s SF %g, %d-record log (%d-row batches), checkpoint at the midpoint\n",
+		r.Workload, r.Scale, r.WALRecords, r.BatchRows)
+	fmt.Fprintf(w, "(base graph build %.1f ms is paid by both; checkpoint wrote %.2f MB in %.1f ms)\n",
+		r.BuildMS, r.CheckpointMB, r.CheckpointMS)
+	fmt.Fprintf(w, "%-18s %12s %10s %10s\n", "boot", "open_ms", "replayed", "skipped")
+	fmt.Fprintf(w, "%-18s %12.1f %10d %10d\n", "full-replay", r.FullBootMS, r.FullReplayed, 0)
+	fmt.Fprintf(w, "%-18s %12.1f %10d %10d\n", "snapshot+suffix", r.SnapBootMS, r.SnapReplayed, r.SnapSkipped)
+	if r.SnapBootMS > 0 {
+		fmt.Fprintf(w, "speedup %.2fx, records not replayed %d\n",
+			r.FullBootMS/r.SnapBootMS, r.FullReplayed-r.SnapReplayed)
+	}
+}

@@ -281,3 +281,73 @@ func TestSteadyStateZeroAllocCombined(t *testing.T) {
 		t.Errorf("steady-state combined Run allocates %.1f times, want 0", allocs)
 	}
 }
+
+// TestAdaptiveCombineFallback: the adaptive gate drops the combiner on
+// a fold-poor run (a ring — every destination hears from exactly one
+// source, so the accumulator plane never folds) and keeps it on a
+// fold-heavy one, with output identical to the static configurations
+// in both cases.
+func TestAdaptiveCombineFallback(t *testing.T) {
+	const n = 2000 // one superstep's sends clear adaptiveMinSends
+	run := func(k int, opts Options) (Stats, []any) {
+		g, lbl := meshGraph(n, k)
+		var initial []VertexID
+		for i := 0; i < n; i++ {
+			initial = append(initial, VertexID(i))
+		}
+		eng := NewEngine(g, opts)
+		stats := eng.Run(&sumProgram{lbl: lbl, hops: 3}, initial)
+		return stats, append([]any(nil), eng.Emitted()...)
+	}
+	sameEmits := func(t *testing.T, got, want []any, label string) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d emits, want %d", label, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: emit[%d] = %v, want %v", label, i, got[i], want[i])
+			}
+		}
+	}
+
+	t.Run("fold-poor ring falls back", func(t *testing.T) {
+		combined, wantEmit := run(1, Options{Workers: 4})
+		if combined.CombineFallbacks != 0 {
+			t.Fatalf("static combined run reported %d fallbacks", combined.CombineFallbacks)
+		}
+		adaptive, gotEmit := run(1, Options{Workers: 4, AdaptiveCombine: true})
+		if adaptive.CombineFallbacks != 1 {
+			t.Fatalf("fallbacks = %d, want 1 (ring never folds)", adaptive.CombineFallbacks)
+		}
+		if adaptive.MessagesCombined != 0 {
+			t.Fatalf("ring folded %d messages", adaptive.MessagesCombined)
+		}
+		if got, want := adaptive.Paper(), combined.Paper(); got != want {
+			t.Fatalf("adaptive paper stats %v != combined %v", got, want)
+		}
+		sameEmits(t, gotEmit, wantEmit, "adaptive vs combined")
+	})
+
+	t.Run("fold-heavy mesh keeps the combiner", func(t *testing.T) {
+		combined, wantEmit := run(8, Options{Workers: 4})
+		adaptive, gotEmit := run(8, Options{Workers: 4, AdaptiveCombine: true})
+		if adaptive.CombineFallbacks != 0 {
+			t.Fatalf("fold-heavy run fell back %d times", adaptive.CombineFallbacks)
+		}
+		if adaptive.MessagesCombined != combined.MessagesCombined || adaptive.MessagesCombined == 0 {
+			t.Fatalf("adaptive folded %d, static combined %d — the gate must not cost folds",
+				adaptive.MessagesCombined, combined.MessagesCombined)
+		}
+		if got, want := adaptive.Paper(), combined.Paper(); got != want {
+			t.Fatalf("adaptive paper stats %v != combined %v", got, want)
+		}
+		sameEmits(t, gotEmit, wantEmit, "adaptive vs combined")
+
+		uncombined, plainEmit := run(8, Options{Workers: 4, NoCombine: true})
+		if got, want := adaptive.Paper(), uncombined.Paper(); got != want {
+			t.Fatalf("adaptive paper stats %v != uncombined %v", got, want)
+		}
+		sameEmits(t, gotEmit, plainEmit, "adaptive vs uncombined")
+	})
+}

@@ -203,6 +203,14 @@ type Options struct {
 	// either way — the flag exists so cross-check tests and the
 	// `tagbench -exp combine` ablation can measure the fold.
 	NoCombine bool
+	// AdaptiveCombine samples the observed fold rate at each barrier
+	// and drops the combiner for the rest of the run when folds are
+	// rare (under adaptiveMinFoldPct% of sends after adaptiveMinSends
+	// sends): a program whose destinations rarely collide pays the
+	// accumulator plane's hashing without its savings. Fallbacks are
+	// counted in Stats.CombineFallbacks. Rows, Emit output and the
+	// paper-facing Stats stay identical either way. Off by default.
+	AdaptiveCombine bool
 	// Profile collects message-plane profiling: the peak resident
 	// inbox bytes observed at any barrier (Engine.PeakInboxBytes) and
 	// the cumulative wall time of the communication stage
@@ -249,6 +257,7 @@ type Stats struct {
 	// rest.
 	MessagesCombined int64 // logical sends folded into an existing accumulator
 	InboxBytesSaved  int64 // Message-slot bytes the folded sends never occupied
+	CombineFallbacks int64 // runs where the adaptive gate dropped a rarely-folding combiner
 }
 
 // Add accumulates other into s.
@@ -262,6 +271,7 @@ func (s *Stats) Add(other Stats) {
 	s.ActiveVisits += other.ActiveVisits
 	s.MessagesCombined += other.MessagesCombined
 	s.InboxBytesSaved += other.InboxBytesSaved
+	s.CombineFallbacks += other.CombineFallbacks
 }
 
 // Sub returns s - other, the delta between two cumulative snapshots
@@ -277,6 +287,7 @@ func (s Stats) Sub(other Stats) Stats {
 		ActiveVisits:     s.ActiveVisits - other.ActiveVisits,
 		MessagesCombined: s.MessagesCombined - other.MessagesCombined,
 		InboxBytesSaved:  s.InboxBytesSaved - other.InboxBytesSaved,
+		CombineFallbacks: s.CombineFallbacks - other.CombineFallbacks,
 	}
 }
 
@@ -287,14 +298,15 @@ func (s Stats) Sub(other Stats) Stats {
 func (s Stats) Paper() Stats {
 	s.MessagesCombined = 0
 	s.InboxBytesSaved = 0
+	s.CombineFallbacks = 0
 	return s
 }
 
 // String renders the stats compactly.
 func (s Stats) String() string {
-	return fmt.Sprintf("supersteps=%d msgs=%d bytes=%d netMsgs=%d netBytes=%d ops=%d visits=%d combined=%d savedB=%d",
+	return fmt.Sprintf("supersteps=%d msgs=%d bytes=%d netMsgs=%d netBytes=%d ops=%d visits=%d combined=%d savedB=%d fallbacks=%d",
 		s.Supersteps, s.Messages, s.MessageBytes, s.NetworkMessages, s.NetworkBytes, s.ComputeOps, s.ActiveVisits,
-		s.MessagesCombined, s.InboxBytesSaved)
+		s.MessagesCombined, s.InboxBytesSaved, s.CombineFallbacks)
 }
 
 type outMsg struct {
@@ -404,6 +416,15 @@ type mergeShard struct {
 // msgBytes is the in-memory size of one Message (padded int32 +
 // 16-byte interface) used by the footprint accounting.
 const msgBytes = 24
+
+// The adaptive combiner gate's sampling thresholds: after
+// adaptiveMinSends logical sends in a run, a fold rate under
+// adaptiveMinFoldPct percent drops the combiner for the rest of the
+// run (Options.AdaptiveCombine).
+const (
+	adaptiveMinSends   = 1024
+	adaptiveMinFoldPct = 10
+)
 
 // maxPooledBytes bounds the message buffers a Run leaves pooled per
 // engine (split evenly across shards). Within a run the pool is
@@ -760,6 +781,21 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 			ctx.stats = Stats{}
 		}
 		slices.Sort(active)
+
+		// Adaptive combiner gate: with enough sends observed this run and
+		// almost none of them folding, the accumulator plane is pure
+		// overhead — drop to the plain outbox for the rest of the run.
+		// Safe exactly here: the barrier has drained every pending
+		// accumulator into the inboxes, and no worker reads e.comb until
+		// the next compute stage.
+		if e.comb != nil && e.opts.AdaptiveCombine {
+			run := e.stats.Sub(before)
+			if run.Messages >= adaptiveMinSends &&
+				run.MessagesCombined*100 < run.Messages*adaptiveMinFoldPct {
+				e.comb = nil
+				e.stats.CombineFallbacks++
+			}
+		}
 	}
 
 	// Drop any undelivered messages so the next Run starts clean; their

@@ -1,0 +1,246 @@
+// Package checkpoint persists epoch-stamped snapshots of a served TAG
+// graph, the "bounded state image" half of snapshot-then-truncate
+// compaction. A checkpoint file is a header frame (magic, version, the
+// epoch the image captures, and the base fingerprint tying it to its
+// WAL dir) followed by a tag snapshot, all in the shared frame codec.
+//
+// Files are written atomically — temp file, fsync, rename, dir fsync —
+// so a crash mid-write leaves only a stray temp file, never a
+// half-checkpoint under the real name. Loading is fail-soft: a torn,
+// bit-flipped, or foreign-base checkpoint is skipped (boot falls back
+// to the previous checkpoint, or to full rebuild + full WAL replay),
+// because the WAL prefix a checkpoint covers is only truncated AFTER
+// the checkpoint is durably on disk — so there is always some
+// combination of image + log that reconstructs the served state.
+package checkpoint
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"encoding/binary"
+
+	"repro/internal/codec"
+	"repro/internal/tag"
+)
+
+const (
+	version   = 1
+	prefix    = "checkpoint-"
+	suffix    = ".ckpt"
+	tmpPrefix = ".ckpt-tmp-"
+)
+
+var magic = []byte("TAGCKPT1")
+
+// ErrForeignBase reports a checkpoint whose base fingerprint does not
+// match the base it is being loaded for: it captures some other
+// database's state and must not be applied.
+var ErrForeignBase = errors.New("checkpoint: snapshot belongs to a different base")
+
+// FileName returns the name a checkpoint covering epoch gets; the
+// zero-padded epoch makes lexicographic order epoch order.
+func FileName(epoch uint64) string {
+	return fmt.Sprintf("%s%020d%s", prefix, epoch, suffix)
+}
+
+func parseEpoch(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if len(mid) != 20 {
+		return 0, false
+	}
+	var epoch uint64
+	for _, c := range mid {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		epoch = epoch*10 + uint64(c-'0')
+	}
+	return epoch, true
+}
+
+// Write atomically persists a checkpoint of g covering epoch into dir
+// and returns its path. After a successful rename it best-effort
+// garbage-collects older checkpoints and stray temp files — they are
+// strictly dominated by the new image. The caller must only truncate
+// the covered WAL prefix after Write returns nil.
+func Write(dir string, g *tag.Graph, epoch uint64, baseFP string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, tmpPrefix)
+	if err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	cleanup := func(err error) (string, error) {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	var hdr []byte
+	hdr = append(hdr, magic...)
+	hdr = binary.AppendUvarint(hdr, version)
+	hdr = binary.AppendUvarint(hdr, epoch)
+	hdr = codec.AppendString(hdr, baseFP)
+	if err := codec.WriteFrame(bw, hdr); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: %w", err))
+	}
+	if err := g.WriteSnapshot(bw); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: %w", err))
+	}
+	if err := bw.Flush(); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("checkpoint: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, FileName(epoch))
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := codec.SyncDir(dir); err != nil {
+		return "", fmt.Errorf("checkpoint: %w", err)
+	}
+	gc(dir, epoch)
+	return path, nil
+}
+
+// gc best-effort removes checkpoints older than keep and any stray temp
+// files (crash leftovers). Failures are ignored: stale files waste disk
+// but never correctness — loading prefers the newest valid image.
+func gc(dir string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, tmpPrefix) {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if epoch, ok := parseEpoch(name); ok && epoch < keep {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// Info identifies one checkpoint file on disk.
+type Info struct {
+	Path  string
+	Epoch uint64
+}
+
+// List returns the checkpoints in dir, oldest first. A missing dir is
+// an empty list.
+func List(dir string) ([]Info, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var out []Info
+	for _, e := range entries {
+		if epoch, ok := parseEpoch(e.Name()); ok {
+			out = append(out, Info{Path: filepath.Join(dir, e.Name()), Epoch: epoch})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out, nil
+}
+
+// Load reads one checkpoint file, verifying the header, the base
+// fingerprint (ErrForeignBase on mismatch), the snapshot itself, and
+// that nothing trails it. It returns the decoded graph and the epoch
+// the image captures.
+func Load(path, baseFP string) (*tag.Graph, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	hdr, _, err := codec.ReadFrame(br)
+	if err != nil {
+		if err == io.EOF {
+			err = codec.ErrCorrupt
+		}
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	d := codec.NewDecoder(hdr)
+	m, err := d.Take(len(magic))
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if !bytes.Equal(m, magic) {
+		return nil, 0, fmt.Errorf("checkpoint %s: not a checkpoint (bad magic)", path)
+	}
+	ver, err := d.Uvarint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if ver != version {
+		return nil, 0, fmt.Errorf("checkpoint %s: unsupported version %d", path, ver)
+	}
+	epoch, err := d.Uvarint()
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	fp, err := d.Str()
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if err := d.Finish(); err != nil {
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if fp != baseFP {
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, ErrForeignBase)
+	}
+	g, err := tag.ReadSnapshot(br)
+	if err != nil {
+		return nil, 0, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, 0, fmt.Errorf("checkpoint %s: trailing bytes: %w", path, codec.ErrCorrupt)
+	}
+	return g, epoch, nil
+}
+
+// LoadNewest loads the newest checkpoint in dir that verifies against
+// baseFP, skipping (and counting) torn, corrupt, or foreign ones — the
+// fail-soft boot path. No loadable checkpoint is (nil, 0, skipped, nil),
+// not an error: the caller falls back to full rebuild + full replay.
+func LoadNewest(dir, baseFP string) (*tag.Graph, uint64, int, error) {
+	infos, err := List(dir)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	skipped := 0
+	for i := len(infos) - 1; i >= 0; i-- {
+		g, epoch, err := Load(infos[i].Path, baseFP)
+		if err != nil {
+			skipped++
+			continue
+		}
+		return g, epoch, skipped, nil
+	}
+	return nil, 0, skipped, nil
+}

@@ -1,0 +1,166 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/tag"
+)
+
+func buildGraph(t *testing.T, rows int) *tag.Graph {
+	t.Helper()
+	c := relation.NewCatalog()
+	items := relation.New("items", relation.MustSchema(
+		relation.Col("id", relation.KindInt),
+		relation.Col("name", relation.KindString),
+	))
+	for i := 0; i < rows; i++ {
+		items.Tuples = append(items.Tuples, relation.Tuple{
+			relation.Int(int64(i)), relation.Str(strings.Repeat("x", i%5)),
+		})
+	}
+	c.MustAdd(items)
+	c.SetPrimaryKey("items", "id")
+	g, err := tag.Build(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestWriteLoadRoundTrip: a written checkpoint loads back with the
+// stamped epoch and an equivalent graph; a wrong fingerprint is
+// ErrForeignBase.
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := buildGraph(t, 20)
+	path, err := Write(dir, g, 7, "fp-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != FileName(7) {
+		t.Fatalf("path %s, want name %s", path, FileName(7))
+	}
+
+	loaded, epoch, err := Load(path, "fp-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 7 {
+		t.Fatalf("epoch = %d, want 7", epoch)
+	}
+	if loaded.G.NumVertices() != g.G.NumVertices() || loaded.G.NumEdges() != g.G.NumEdges() {
+		t.Fatalf("loaded shape %d/%d, want %d/%d",
+			loaded.G.NumVertices(), loaded.G.NumEdges(), g.G.NumVertices(), g.G.NumEdges())
+	}
+	if !reflect.DeepEqual(loaded.TupleVertices("items"), g.TupleVertices("items")) {
+		t.Fatal("tuple vertices differ after load")
+	}
+
+	if _, _, err := Load(path, "fp-B"); !errors.Is(err, ErrForeignBase) {
+		t.Fatalf("foreign fp err = %v, want ErrForeignBase", err)
+	}
+}
+
+// TestWriteGC: a newer checkpoint removes older ones and stray temp
+// files, and stray temps never affect loading.
+func TestWriteGC(t *testing.T) {
+	dir := t.TempDir()
+	g := buildGraph(t, 10)
+
+	// A stray temp file — the artifact a kill during checkpoint write
+	// leaves behind.
+	stray := filepath.Join(dir, tmpPrefix+"123456")
+	if err := os.WriteFile(stray, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Write(dir, g, 3, "fp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Write(dir, g, 8, "fp"); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 1 || names[0] != FileName(8) {
+		t.Fatalf("dir after GC = %v, want only %s", names, FileName(8))
+	}
+
+	if _, epoch, skipped, err := LoadNewest(dir, "fp"); err != nil || epoch != 8 || skipped != 0 {
+		t.Fatalf("LoadNewest = epoch %d skipped %d err %v, want 8/0/nil", epoch, skipped, err)
+	}
+}
+
+// TestLoadNewestFallback: a corrupt newest checkpoint is skipped in
+// favor of an older valid one; with no valid checkpoint at all the
+// result is nil without error (boot falls back to full replay).
+func TestLoadNewestFallback(t *testing.T) {
+	dir := t.TempDir()
+	g := buildGraph(t, 10)
+
+	if _, err := Write(dir, g, 3, "fp"); err != nil {
+		t.Fatal(err)
+	}
+	older, err := os.ReadFile(filepath.Join(dir, FileName(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest, err := Write(dir, g, 9, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resurrect the older image (Write GC'd it), then corrupt the newest.
+	if err := os.WriteFile(filepath.Join(dir, FileName(3)), older, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, epoch, skipped, err := LoadNewest(dir, "fp")
+	if err != nil || loaded == nil || epoch != 3 || skipped != 1 {
+		t.Fatalf("LoadNewest = %v epoch %d skipped %d err %v, want valid/3/1/nil", loaded != nil, epoch, skipped, err)
+	}
+
+	// A foreign-base checkpoint is equally skipped (fail-soft): corrupting
+	// both leaves nothing loadable, which is a clean fallback, not an error.
+	if err := os.Remove(filepath.Join(dir, FileName(3))); err != nil {
+		t.Fatal(err)
+	}
+	loaded, epoch, skipped, err = LoadNewest(dir, "other-base")
+	if err != nil || loaded != nil || epoch != 0 || skipped != 1 {
+		t.Fatalf("LoadNewest(all invalid) = %v/%d/%d/%v, want nil/0/1/nil", loaded != nil, epoch, skipped, err)
+	}
+
+	// Truncated mid-snapshot: skipped too.
+	if err := os.WriteFile(filepath.Join(dir, FileName(9)), data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _, skipped, err = LoadNewest(dir, "fp")
+	if err != nil || loaded != nil || skipped != 1 {
+		t.Fatalf("LoadNewest(torn) = %v skipped %d err %v, want nil/1/nil", loaded != nil, skipped, err)
+	}
+
+	// Empty / missing dir: clean no-checkpoint result.
+	if loaded, epoch, skipped, err := LoadNewest(filepath.Join(dir, "nope"), "fp"); err != nil || loaded != nil || epoch != 0 || skipped != 0 {
+		t.Fatalf("LoadNewest(missing dir) = %v/%d/%d/%v", loaded != nil, epoch, skipped, err)
+	}
+}

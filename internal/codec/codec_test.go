@@ -1,0 +1,181 @@
+package codec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestFrameRoundTrip: WriteFrame and FinishFrame produce identical
+// bytes, and ReadFrame returns the payload with the exact frame size.
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox")
+
+	var streamed bytes.Buffer
+	if err := WriteFrame(&streamed, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, HeaderSize, HeaderSize+len(payload))
+	buf = append(buf, payload...)
+	if err := FinishFrame(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), buf) {
+		t.Fatalf("WriteFrame and FinishFrame disagree:\n %x\n %x", streamed.Bytes(), buf)
+	}
+
+	got, n, err := ReadFrame(bufio.NewReader(&streamed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) || n != int64(HeaderSize+len(payload)) {
+		t.Fatalf("ReadFrame = %q (%d bytes), want %q (%d)", got, n, payload, HeaderSize+len(payload))
+	}
+}
+
+// TestFrameCorruption: a torn header, torn payload, or flipped bit all
+// surface as ErrCorrupt; a clean end of input is io.EOF.
+func TestFrameCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("payload bytes here")); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+
+	cases := map[string][]byte{
+		"torn header":  frame[:HeaderSize-2],
+		"torn payload": frame[:len(frame)-3],
+		"flipped bit":  append(append([]byte(nil), frame[:len(frame)-1]...), frame[len(frame)-1]^0xff),
+		"zero length":  make([]byte, HeaderSize),
+	}
+	for name, data := range cases {
+		if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(data))); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("ReadFrame(%s) err = %v, want ErrCorrupt", name, err)
+		}
+		if _, err := SkipFrame(bufio.NewReader(bytes.NewReader(data)), make([]byte, 7)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("SkipFrame(%s) err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(nil))); err != io.EOF {
+		t.Errorf("ReadFrame(empty) err = %v, want io.EOF", err)
+	}
+
+	// An oversized length prefix is rejected before any allocation.
+	huge := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint32(huge, MaxFrameBytes+1)
+	if _, _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("ReadFrame(oversized) err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestScanValidPrefix: the scan stops at the first torn or corrupt
+// frame and reports the byte length of the valid prefix only.
+func TestScanValidPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	sizes := []int{1, 100<<10 + 3, 17} // spans multiple SkipFrame chunks
+	var want int64
+	for i, n := range sizes {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, n)
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(HeaderSize + n)
+	}
+	got, err := ScanValidPrefix(bytes.NewReader(buf.Bytes()))
+	if err != nil || got != want {
+		t.Fatalf("ScanValidPrefix(clean) = %d, %v; want %d", got, err, want)
+	}
+
+	// Tear the last frame: the scan backs up to the end of frame 2.
+	torn := buf.Bytes()[:buf.Len()-5]
+	got, err = ScanValidPrefix(bytes.NewReader(torn))
+	if err != nil || got != want-int64(HeaderSize+sizes[2]) {
+		t.Fatalf("ScanValidPrefix(torn) = %d, %v; want %d", got, err, want-int64(HeaderSize+sizes[2]))
+	}
+}
+
+// TestDecoder: every accessor round-trips its encoder counterpart, and
+// Finish demands exact consumption.
+func TestDecoder(t *testing.T) {
+	var b []byte
+	b = binary.AppendUvarint(b, 300)
+	b = binary.AppendVarint(b, -7)
+	b = AppendString(b, "hello")
+	b = append(b, 0xAB)
+	b = AppendString(b, "")
+
+	d := NewDecoder(b)
+	if v, err := d.Uvarint(); err != nil || v != 300 {
+		t.Fatalf("Uvarint = %d, %v", v, err)
+	}
+	if v, err := d.Varint(); err != nil || v != -7 {
+		t.Fatalf("Varint = %d, %v", v, err)
+	}
+	if s, err := d.Str(); err != nil || s != "hello" {
+		t.Fatalf("Str = %q, %v", s, err)
+	}
+	if err := d.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Finish with bytes remaining = %v, want ErrCorrupt", err)
+	}
+	if v, err := d.Byte(); err != nil || v != 0xAB {
+		t.Fatalf("Byte = %x, %v", v, err)
+	}
+	if s, err := d.Str(); err != nil || s != "" {
+		t.Fatalf("Str(empty) = %q, %v", s, err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatalf("Finish = %v", err)
+	}
+
+	// Out-of-bounds reads are ErrCorrupt, not panics.
+	if _, err := d.Uvarint(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Uvarint past end = %v", err)
+	}
+	if _, err := d.Take(1); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Take past end = %v", err)
+	}
+	// A length the payload cannot back is corruption.
+	d2 := NewDecoder(binary.AppendUvarint(nil, 1<<40))
+	if _, err := d2.Length(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Length(absurd) = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCapHint(t *testing.T) {
+	if CapHint(10) != 10 || CapHint(1<<30) != maxCapHint {
+		t.Fatalf("CapHint miscaps: %d %d", CapHint(10), CapHint(1<<30))
+	}
+}
+
+// TestWriteFileAtomic: the target appears complete, and no temp files
+// survive a successful write.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	want := []byte("atomic contents")
+	if err := WriteFileAtomic(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite is atomic too.
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out.bin" {
+		t.Fatalf("stray files after atomic writes: %v", entries)
+	}
+}

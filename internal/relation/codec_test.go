@@ -1,0 +1,180 @@
+package relation
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/codec"
+)
+
+func sampleTuples() []Tuple {
+	return []Tuple{
+		{Int(42), Str("hello"), Float(3.25)},
+		{Null, Bool(true), Date(19000)},
+		{Int(-5), Str(""), Float(-0.0)},
+	}
+}
+
+// TestValueTupleRoundTrip: every value kind survives encode/decode, and
+// the encoding matches the WAL's historical layout byte for byte.
+func TestValueTupleRoundTrip(t *testing.T) {
+	for _, row := range sampleTuples() {
+		b, err := AppendTuple(nil, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := codec.NewDecoder(b)
+		got, err := DecodeTuple(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, row) {
+			t.Fatalf("tuple round trip: got %v, want %v", got, row)
+		}
+	}
+
+	// Pinned bytes: kind tag, then varint / raw float bits / len-prefixed
+	// string — the exact layout every WAL record has always used.
+	b, err := AppendValue(nil, Int(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{byte(KindInt), 0x54}; !bytes.Equal(b, want) {
+		t.Fatalf("Int(42) encodes as %x, want %x", b, want)
+	}
+	b, err = AppendValue(nil, Str("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{byte(KindString), 2, 'h', 'i'}; !bytes.Equal(b, want) {
+		t.Fatalf("Str(hi) encodes as %x, want %x", b, want)
+	}
+
+	// An unknown kind byte is corruption, not a panic.
+	d := codec.NewDecoder([]byte{0x7f})
+	if _, err := DecodeValue(d); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("unknown kind err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestSchemaRoundTrip: a decoded schema behaves like a constructed one
+// (by-name lookup included).
+func TestSchemaRoundTrip(t *testing.T) {
+	s := MustSchema(Col("id", KindInt), Col("name", KindString), Col("price", KindFloat))
+	d := codec.NewDecoder(s.AppendBinary(nil))
+	got, err := DecodeSchema(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Columns, s.Columns) {
+		t.Fatalf("columns: got %v, want %v", got.Columns, s.Columns)
+	}
+	if got.Index("NAME") != 1 {
+		t.Fatalf("decoded schema lost its by-name index: Index(NAME) = %d", got.Index("NAME"))
+	}
+}
+
+func buildCatalog(t *testing.T, rowsPerTable int) *Catalog {
+	t.Helper()
+	c := NewCatalog()
+	items := New("Items", MustSchema(Col("id", KindInt), Col("name", KindString)))
+	for i := 0; i < rowsPerTable; i++ {
+		items.Tuples = append(items.Tuples, Tuple{Int(int64(i)), Str("n")})
+	}
+	c.MustAdd(items)
+	groups := New("groups", MustSchema(Col("gid", KindInt), Col("item", KindInt)))
+	for i := 0; i < rowsPerTable/2; i++ {
+		groups.Tuples = append(groups.Tuples, Tuple{Int(int64(i % 7)), Int(int64(i))})
+	}
+	c.MustAdd(groups)
+	c.MustAdd(New("empty", MustSchema(Col("x", KindBool))))
+	c.SetPrimaryKey("items", "id")
+	c.AddForeignKey(ForeignKey{Table: "groups", Column: "item", RefTable: "items", RefColumn: "id"})
+	return c
+}
+
+func catalogsEqual(t *testing.T, got, want *Catalog) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Names(), want.Names()) {
+		t.Fatalf("names: got %v, want %v", got.Names(), want.Names())
+	}
+	for _, name := range want.Names() {
+		gr, wr := got.Get(name), want.Get(name)
+		if !reflect.DeepEqual(gr.Schema.Columns, wr.Schema.Columns) {
+			t.Fatalf("%s schema: got %v, want %v", name, gr.Schema.Columns, wr.Schema.Columns)
+		}
+		if len(gr.Tuples) != len(wr.Tuples) || !reflect.DeepEqual(gr.Tuples, wr.Tuples) {
+			t.Fatalf("%s rows differ (%d vs %d)", name, len(gr.Tuples), len(wr.Tuples))
+		}
+		if got.PrimaryKey(name) != want.PrimaryKey(name) {
+			t.Fatalf("%s pk: got %q, want %q", name, got.PrimaryKey(name), want.PrimaryKey(name))
+		}
+	}
+	if !reflect.DeepEqual(got.ForeignKeys(), want.ForeignKeys()) {
+		t.Fatalf("fks: got %v, want %v", got.ForeignKeys(), want.ForeignKeys())
+	}
+}
+
+// TestCatalogRoundTrip: names (original case), schemas, rows (in order),
+// keys — all survive; rows spanning multiple chunks reassemble; the
+// encoding is deterministic; trailing input is left unconsumed.
+func TestCatalogRoundTrip(t *testing.T) {
+	// 3x the chunk row bound forces multiple row frames for one table.
+	c := buildCatalog(t, 3*catalogChunkRows+17)
+	var buf bytes.Buffer
+	if err := c.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := c.WriteBinary(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WriteBinary is not deterministic")
+	}
+
+	trailer := []byte("unrelated next section")
+	buf.Write(trailer)
+	br := bufio.NewReader(&buf)
+	got, err := ReadCatalog(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalogsEqual(t, got, c)
+	rest := make([]byte, len(trailer))
+	if _, err := br.Read(rest); err != nil || !bytes.Equal(rest, trailer) {
+		t.Fatalf("catalog read consumed past its frames: %q, %v", rest, err)
+	}
+}
+
+// TestCatalogCorruption: a flipped bit in any frame surfaces as
+// ErrCorrupt; a truncated stream does too.
+func TestCatalogCorruption(t *testing.T) {
+	c := buildCatalog(t, 100)
+	var buf bytes.Buffer
+	if err := c.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0xff
+	if _, err := ReadCatalog(bufio.NewReader(bytes.NewReader(flipped))); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("bit flip err = %v, want ErrCorrupt", err)
+	}
+	if _, err := ReadCatalog(bufio.NewReader(bytes.NewReader(data[:len(data)-4]))); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("truncation err = %v, want ErrCorrupt", err)
+	}
+	if _, err := ReadCatalog(bufio.NewReader(bytes.NewReader(nil))); !errors.Is(err, codec.ErrCorrupt) {
+		t.Fatalf("empty err = %v, want ErrCorrupt", err)
+	}
+}

@@ -87,11 +87,21 @@ type StatsResponse struct {
 	// above still counts every logical send (the paper's M).
 	MessagesCombined int64 `json:"bsp_messages_combined"`
 	InboxBytesSaved  int64 `json:"bsp_inbox_bytes_saved"`
+	CombineFallbacks int64 `json:"bsp_combine_fallbacks"`
 	// Durability (the WriteOp WAL; all zero on a memory-only server).
 	WALRecords  int64 `json:"wal_records"`
 	WALBytes    int64 `json:"wal_bytes"`
 	WALFsyncs   int64 `json:"wal_fsyncs"`
 	WALReplayed int64 `json:"wal_replayed_epochs"`
+	// Checkpointing (snapshot-then-truncate compaction). WALSkipped is
+	// the boot-time records the loaded checkpoint made redundant;
+	// CheckpointErrors counts failed writes plus invalid checkpoints
+	// skipped at boot.
+	WALSkipped       int64  `json:"wal_skipped_epochs"`
+	WALTruncations   int64  `json:"wal_truncations"`
+	Checkpoints      int64  `json:"checkpoints"`
+	CheckpointEpoch  uint64 `json:"checkpoint_epoch"`
+	CheckpointErrors int64  `json:"checkpoint_errors"`
 }
 
 type errorResponse struct {
@@ -209,10 +219,16 @@ func handler(s *Server, readOnly bool) http.Handler {
 			ComputeOps:       st.Cost.ComputeOps,
 			MessagesCombined: st.Cost.MessagesCombined,
 			InboxBytesSaved:  st.Cost.InboxBytesSaved,
+			CombineFallbacks: st.Cost.CombineFallbacks,
 			WALRecords:       st.WALRecords,
 			WALBytes:         st.WALBytes,
 			WALFsyncs:        st.WALFsyncs,
 			WALReplayed:      st.WALReplayed,
+			WALSkipped:       st.WALSkipped,
+			WALTruncations:   st.WALTruncations,
+			Checkpoints:      st.Checkpoints,
+			CheckpointEpoch:  st.CheckpointEpoch,
+			CheckpointErrors: st.CheckpointErrors,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

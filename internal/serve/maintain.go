@@ -265,6 +265,7 @@ func (s *Server) applyBatch(batch []*queuedWrite) {
 		qw.res.Coalesced = len(applied)
 		qw.res.Elapsed = elapsed
 	}
+	s.maybeCheckpoint(gen)
 }
 
 // insertBatch indirects tag.Graph.InsertBatch so the torn-op regression

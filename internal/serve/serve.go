@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"repro/internal/bsp"
+	"repro/internal/checkpoint"
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/relation"
 	"repro/internal/sql"
@@ -70,6 +72,20 @@ type Options struct {
 	// WALSyncInterval bounds the fsync lag under wal.SyncInterval;
 	// defaults to 100ms.
 	WALSyncInterval time.Duration
+
+	// CheckpointEvery, when > 0, checkpoints the served state every N
+	// published epochs: a background snapshot of a pinned generation is
+	// written atomically next to the WAL, then the WAL prefix it covers
+	// is truncated. Boot loads the newest valid checkpoint and replays
+	// only the WAL suffix past it, so recovery time tracks checkpoint
+	// cadence instead of total history. 0 disables periodic
+	// checkpointing (Maintainer.Checkpoint still works on demand).
+	CheckpointEvery int
+	// CheckpointBytes, when > 0, additionally triggers a checkpoint once
+	// at least this many WAL bytes have been appended since the last one
+	// — bounding log growth under large-row workloads where an epoch
+	// count alone would let the log balloon.
+	CheckpointBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -111,7 +127,14 @@ type Stats struct {
 	WALRecords  int64 // records appended since boot (one per published batch)
 	WALBytes    int64 // bytes appended since boot (frame headers included)
 	WALFsyncs   int64 // fsyncs issued by the sync policy
-	WALReplayed int64 // epochs rebuilt from the log at boot
+	WALReplayed int64 // records replayed at boot (the suffix past the checkpoint)
+
+	// Checkpointing (snapshot-then-truncate compaction).
+	WALSkipped       int64  // boot: records covered by the loaded checkpoint, not replayed
+	WALTruncations   int64  // log compactions (prefix rewrites after checkpoints)
+	Checkpoints      int64  // checkpoints written since boot
+	CheckpointEpoch  uint64 // epoch covered by the newest checkpoint (boot-loaded or written)
+	CheckpointErrors int64  // checkpoint attempts that failed or were skipped as invalid
 }
 
 // String renders the stats compactly.
@@ -160,6 +183,22 @@ type Server struct {
 	// the plain read there is safe.
 	wal         *wal.Writer
 	walReplayed int64
+	walSkipped  int64
+	// baseFP fingerprints the base catalog this server's WAL dir is
+	// bound to; checkpoints carry it so an image can never be applied to
+	// a foreign base. Set by Open, constant afterwards.
+	baseFP string
+
+	// ckptMu guards the checkpointer's trigger state. The write path
+	// only peeks at it after a publish; the snapshot itself runs in a
+	// background goroutine on a pinned (immutable) generation, off the
+	// write path.
+	ckptMu        sync.Mutex
+	ckptInflight  bool
+	ckptLastEpoch uint64 // epoch covered by the newest checkpoint
+	ckptLastBytes int64  // wal bytes counter when it was taken
+	ckptCount     int64
+	ckptErrors    int64
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -181,14 +220,19 @@ func New(g *tag.Graph, opts Options) *Server {
 	return s
 }
 
-// Open is New plus durability. When opts.WALDir is set it recovers the
-// write-ahead log in that directory (truncating any tail torn by a
-// crash), replays every logged batch through the maintenance path —
-// one publish cycle per record, so the rebuilt server walks the exact
-// epoch sequence the log recorded — and only then attaches the log, so
-// new writes are appended (and synced per opts.WALSync) before their
-// generation swap. Replay relies on the write path being deterministic:
-// re-applying the same ops to the same base graph assigns the same
+// Open is New plus durability. When opts.WALDir is set it boots via
+// snapshot-load + suffix-replay: recover the write-ahead log
+// (truncating any tail torn by a crash), load the newest valid
+// checkpoint in the dir — CRC-checked and fingerprint-matched to this
+// base — install it as the serving generation at the epoch it
+// captures, and replay only the WAL records past that epoch through
+// the maintenance path, one publish cycle per record. When no
+// checkpoint exists, or every one on disk is torn, corrupt, or foreign,
+// boot falls back to the passed base graph and a full replay — the
+// pre-checkpoint behavior. Only then is the log attached, so new writes
+// are appended (and synced per opts.WALSync) before their generation
+// swap. Replay relies on the write path being deterministic:
+// re-applying the same ops to the same state assigns the same
 // tuple-vertex ids, which keeps logged delete ids valid.
 //
 // With an empty WALDir, Open is exactly New.
@@ -219,7 +263,7 @@ func Open(g *tag.Graph, opts Options) (*Server, error) {
 		// Claim atomically (temp + fsync + rename): a crash mid-claim must
 		// not leave a partial fingerprint that bricks the dir with a bogus
 		// "different base" refusal on every later boot.
-		if err := writeFileAtomic(fpPath, []byte(fp+"\n")); err != nil {
+		if err := codec.WriteFileAtomic(fpPath, []byte(fp+"\n")); err != nil {
 			w.Close()
 			return nil, fmt.Errorf("serve: claiming wal dir: %w", err)
 		}
@@ -227,7 +271,37 @@ func Open(g *tag.Graph, opts Options) (*Server, error) {
 		w.Close()
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	st, err := wal.Replay(opts.WALDir, func(rec *wal.Record) error {
+	s.baseFP = fp
+
+	// Snapshot-load: install the newest valid checkpoint as the serving
+	// state, then replay only the suffix past it. Invalid checkpoints are
+	// skipped (counted), never half-applied — the checkpointer truncates
+	// the covered WAL prefix only after its snapshot is durable, so a
+	// skipped checkpoint always leaves a log that reaches the same state
+	// the long way.
+	var ckptEpoch uint64
+	if ckptG, epoch, skipped, err := checkpoint.LoadNewest(opts.WALDir, fp); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("serve: %w", err)
+	} else {
+		s.ckptErrors = int64(skipped)
+		if ckptG != nil {
+			ckptEpoch = epoch
+			s.ckptLastEpoch = epoch
+			old := s.gen.Load()
+			s.live.Add(1)
+			s.gen.Store(newGeneration(epoch, ckptG, s.opts, func() { s.live.Add(-1) }))
+			old.release()
+		}
+	}
+
+	_, err = wal.Replay(opts.WALDir, func(rec *wal.Record) error {
+		if rec.Epoch <= ckptEpoch {
+			// Covered by the loaded checkpoint; replaying it would
+			// double-apply.
+			s.walSkipped++
+			return nil
+		}
 		batch := make([]*queuedWrite, len(rec.Ops))
 		for i, op := range rec.Ops {
 			batch[i] = &queuedWrite{
@@ -238,10 +312,15 @@ func Open(g *tag.Graph, opts Options) (*Server, error) {
 		s.writeMu.Lock()
 		s.applyBatch(batch)
 		s.writeMu.Unlock()
+		s.walReplayed++
 		for i, qw := range batch {
 			// Only applied ops were logged, so a replay failure means the
-			// log and the base graph have diverged — refuse to serve a
-			// state that differs from what was acknowledged.
+			// log and the boot state have diverged — refuse to serve a
+			// state that differs from what was acknowledged. The epoch
+			// check also catches a hole in history (e.g. a log truncated
+			// for a checkpoint that then failed to load): replay onto the
+			// fallback base would produce the wrong epochs, so boot fails
+			// loudly instead of silently misapplying the suffix.
 			if qw.err != nil {
 				return fmt.Errorf("serve: replaying op %d of epoch %d: %w", i, rec.Epoch, qw.err)
 			}
@@ -255,47 +334,14 @@ func Open(g *tag.Graph, opts Options) (*Server, error) {
 		w.Close()
 		return nil, err
 	}
-	s.walReplayed = st.Records
 	s.wal = w
 	return s, nil
 }
 
 // baseFPFile sits next to the log and names the base catalog it was
-// recorded against.
+// recorded against. Written via codec.WriteFileAtomic so a crash
+// mid-claim leaves either no file or the complete fingerprint.
 const baseFPFile = "base.fp"
-
-// writeFileAtomic writes data so a crash leaves either no file or the
-// complete one: temp file in the same dir, fsync, rename over the
-// target.
-func writeFileAtomic(path string, data []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	// Flush the dirent too: without it a power loss can drop the rename
-	// while keeping the log, and the next boot would mis-claim the dir.
-	d, err := os.Open(filepath.Dir(path))
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
 
 // baseFingerprint identifies a base catalog: graph size, every table's
 // name, schema and row count, plus a row-content sample (so the same
@@ -326,12 +372,11 @@ func (s *Server) Graph() *tag.Graph { return s.gen.Load().Graph }
 
 // WAL returns the attached write-ahead log, or nil on a memory-only
 // server. Callers may Sync it to force durability ahead of the sync
-// policy; appends stay owned by the maintenance path. Truncate is the
-// compaction hook, but note its contract: truncation resets the replay
-// baseline, so it is only correct once a snapshot that replaces the
-// *base graph of the next Open* has been durably written — and no
-// snapshot-load path exists yet (see ROADMAP), so today a truncated
-// log can only recover onto a base already equal to the served state.
+// policy; appends stay owned by the maintenance path. Compaction goes
+// through Maintainer.Checkpoint (or the periodic checkpointer): a log
+// prefix may only be truncated after a checkpoint covering it is
+// durably on disk, because boot replays just the suffix past the
+// newest loadable checkpoint.
 func (s *Server) WAL() *wal.Writer { return s.wal }
 
 // Generation returns the currently served generation. The caller must
@@ -481,8 +526,15 @@ func (s *Server) Stats() Stats {
 		st.WALRecords = ws.Records
 		st.WALBytes = ws.Bytes
 		st.WALFsyncs = ws.Fsyncs
+		st.WALTruncations = ws.Truncations
 	}
 	st.WALReplayed = s.walReplayed
+	st.WALSkipped = s.walSkipped
+	s.ckptMu.Lock()
+	st.Checkpoints = s.ckptCount
+	st.CheckpointEpoch = s.ckptLastEpoch
+	st.CheckpointErrors = s.ckptErrors
+	s.ckptMu.Unlock()
 	return st
 }
 

@@ -7,19 +7,20 @@
 // records 1..k through the same maintenance path rebuilds exactly the
 // state epoch k served, for every k.
 //
-// On-disk format, per record:
+// Framing (length prefix + CRC-32C + capacity-capped decode) comes from
+// the shared internal/codec package — checkpoint files use the same
+// frames — and the payload is a varint-packed encoding of the record:
+// epoch, then each op's table name, insert tuples (the relation
+// package's kind-tagged value codec) and delete vertex ids. A record is
+// valid only if it is complete and its CRC matches, so a crash
+// mid-append (a torn tail) is detected, not replayed: Open truncates
+// the log back to its longest valid prefix before appending, and Replay
+// stops cleanly at the first invalid record.
 //
-//	uint32  payload length (little-endian)
-//	uint32  CRC-32C (Castagnoli) of the payload
-//	bytes   payload
-//
-// The payload is a varint-packed encoding of the record: epoch, then
-// each op's table name, insert tuples (kind-tagged values) and delete
-// vertex ids. A record is valid only if it is complete and its CRC
-// matches, so a crash mid-append (a torn tail) is detected, not
-// replayed: Open truncates the log back to its longest valid prefix
-// before appending, and Replay stops cleanly at the first invalid
-// record.
+// Compaction is snapshot-then-truncate: once a checkpoint durably
+// captures the state through epoch E, TruncatePrefix(E) drops the
+// records a snapshot-load boot no longer replays, so the log holds a
+// suffix bounded by checkpoint cadence instead of all history.
 //
 // Sync policy is the durability/throughput dial: SyncAlways fsyncs
 // every append (no acknowledged write is ever lost), SyncInterval
@@ -32,9 +33,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -42,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/bsp"
+	"repro/internal/codec"
 	"repro/internal/relation"
 )
 
@@ -122,45 +122,25 @@ func (o Options) withDefaults() Options {
 
 // WriterStats counts a Writer's activity since Open.
 type WriterStats struct {
-	Records int64 // records appended
-	Bytes   int64 // bytes appended (headers included)
-	Fsyncs  int64 // fsyncs issued by the sync policy (and Close/Truncate)
+	Records     int64 // records appended
+	Bytes       int64 // bytes appended (headers included)
+	Fsyncs      int64 // fsyncs issued by the sync policy (and Close/Truncate)
+	Truncations int64 // compactions (Truncate and TruncatePrefix)
 }
 
 const (
-	fileName   = "wal.log"
-	lockName   = "wal.lock"
-	headerSize = 8
-	// maxRecordBytes bounds a length prefix before the payload is read
-	// into memory. One record is one publish cycle; 256MB is far beyond
-	// any real coalesced batch while keeping the worst-case read of a
-	// corrupt-but-plausible header modest.
-	maxRecordBytes = 256 << 20
+	fileName = "wal.log"
+	lockName = "wal.lock"
 	// maxScratchBytes bounds the encode buffer kept across appends;
 	// larger one-off buffers are released after use.
 	maxScratchBytes = 1 << 20
-	// maxCapHint caps the capacity pre-allocated from a decoded element
-	// count. Counts are validated against the payload's remaining bytes,
-	// but in-memory elements are up to ~64x larger than their minimal
-	// encoding — so slices grow by append (bounded by the bytes actually
-	// present) instead of trusting the count up front.
-	maxCapHint = 4096
 )
-
-// capHint bounds an up-front slice capacity taken from decoded input.
-func capHint(n int) int {
-	if n > maxCapHint {
-		return maxCapHint
-	}
-	return n
-}
-
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // errTorn marks an incomplete or corrupt record: the point where a
 // crash interrupted an append. Everything before it is trustworthy;
-// nothing at or after it is.
-var errTorn = errors.New("wal: torn record")
+// nothing at or after it is. It is the shared codec's corruption
+// sentinel — checkpoint readers report the same condition the same way.
+var errTorn = codec.ErrCorrupt
 
 // Writer appends records to the log in dir. Open recovers first:
 // the file is truncated back to its longest valid prefix, so a tail
@@ -220,9 +200,12 @@ func Open(dir string, opts Options) (*Writer, error) {
 		lock.Close()
 		return nil, err
 	}
-	valid, err := scanValidPrefix(f)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fail(fmt.Errorf("wal: %w", err))
+	}
+	valid, err := codec.ScanValidPrefix(f)
 	if err != nil {
-		return fail(err)
+		return fail(fmt.Errorf("wal: %w", err))
 	}
 	fi, err := f.Stat()
 	if err != nil {
@@ -240,85 +223,10 @@ func Open(dir string, opts Options) (*Writer, error) {
 	// does nothing for a dirent the journal never flushed — a power loss
 	// could otherwise drop wal.log wholesale, acknowledged writes and
 	// all.
-	if err := syncDir(dir); err != nil {
+	if err := codec.SyncDir(dir); err != nil {
 		return fail(fmt.Errorf("wal: %w", err))
 	}
 	return &Writer{f: f, lock: lock, path: path, opts: opts, off: valid, lastSync: time.Now()}, nil
-}
-
-// syncDir fsyncs a directory, making its entries durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
-
-// scanValidPrefix returns the byte length of the longest valid record
-// prefix of the log. It checks frames and CRCs only — no payload
-// decoding — so measuring a large log costs one sequential read, not a
-// full materialization of every logged tuple (Replay decodes once,
-// right after).
-func scanValidPrefix(f *os.File) (int64, error) {
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, fmt.Errorf("wal: %w", err)
-	}
-	br := bufio.NewReaderSize(f, 1<<20)
-	var off int64
-	buf := make([]byte, 64<<10)
-	for {
-		n, err := skipFrame(br, buf)
-		switch {
-		case err == nil:
-			off += n
-		case errors.Is(err, io.EOF), errors.Is(err, errTorn):
-			return off, nil
-		default:
-			return 0, err
-		}
-	}
-}
-
-// skipFrame validates one frame (length prefix + CRC) while streaming
-// the payload through a reused buffer — measuring a large log never
-// materializes its records.
-func skipFrame(br *bufio.Reader, buf []byte) (int64, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return 0, io.EOF
-		}
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return 0, errTorn
-		}
-		return 0, fmt.Errorf("wal: %w", err)
-	}
-	n := binary.LittleEndian.Uint32(hdr[0:4])
-	want := binary.LittleEndian.Uint32(hdr[4:8])
-	if n == 0 || n > maxRecordBytes {
-		return 0, errTorn
-	}
-	var crc uint32
-	for remaining := int(n); remaining > 0; {
-		chunk := buf
-		if remaining < len(chunk) {
-			chunk = chunk[:remaining]
-		}
-		if _, err := io.ReadFull(br, chunk); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return 0, errTorn
-			}
-			return 0, fmt.Errorf("wal: %w", err)
-		}
-		crc = crc32.Update(crc, castagnoli, chunk)
-		remaining -= len(chunk)
-	}
-	if crc != want {
-		return 0, errTorn
-	}
-	return int64(headerSize) + int64(n), nil
 }
 
 // Append encodes rec and writes it to the log in one write call, then
@@ -333,10 +241,10 @@ func (w *Writer) Append(rec *Record) error {
 	if w.failed != nil {
 		return w.failed
 	}
-	if cap(w.scratch) < headerSize {
-		w.scratch = make([]byte, headerSize, 4096)
+	if cap(w.scratch) < codec.HeaderSize {
+		w.scratch = make([]byte, codec.HeaderSize, 4096)
 	}
-	buf, err := encodePayload(w.scratch[:headerSize], rec)
+	buf, err := encodePayload(w.scratch[:codec.HeaderSize], rec)
 	if err != nil {
 		return err
 	}
@@ -347,12 +255,12 @@ func (w *Writer) Append(rec *Record) error {
 	} else {
 		w.scratch = nil
 	}
-	payload := buf[headerSize:]
-	if len(payload) > maxRecordBytes {
-		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), maxRecordBytes)
+	if len(buf)-codec.HeaderSize > codec.MaxFrameBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(buf)-codec.HeaderSize, codec.MaxFrameBytes)
 	}
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	if err := codec.FinishFrame(buf); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
 	if n, err := w.f.Write(buf); err != nil {
 		// A short write leaves a partial frame on disk. Rewind to the
 		// last good offset: appending after the garbage would put valid,
@@ -442,13 +350,13 @@ func (w *Writer) syncLocked() error {
 }
 
 // Truncate resets the log to empty — the compaction half of
-// snapshot-then-truncate. Call it only once the state the log protects
-// has been durably captured elsewhere (a snapshot): after Truncate, a
-// recovery replays nothing, so the snapshot is the new baseline — and
-// it must actually BE the baseline the next recovery starts from.
-// Records appended after a truncation carry post-snapshot epochs;
-// replaying them onto the original (pre-snapshot) base will be refused
-// by the consumer's epoch check rather than produce a wrong state.
+// snapshot-then-truncate when the snapshot covers every record. Call it
+// only once the state the log protects has been durably captured
+// elsewhere (a snapshot): after Truncate, a recovery replays nothing,
+// so the snapshot is the new baseline — and it must actually BE the
+// baseline the next recovery starts from. The checkpointer uses
+// TruncatePrefix instead, which keeps the records the snapshot does
+// not cover.
 func (w *Writer) Truncate() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -462,7 +370,101 @@ func (w *Writer) Truncate() error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	w.off = 0
+	w.stats.Truncations++
 	return w.syncLocked()
+}
+
+// TruncatePrefix drops every record with epoch <= covered, keeping the
+// suffix a snapshot-load boot still needs to replay. Epochs are
+// appended in increasing order, so the covered records are a byte
+// prefix of the log; the suffix is copied to a temp file, fsynced, and
+// renamed over the log — a crash anywhere leaves either the old log or
+// the compacted one, both of which boot (paired with the checkpoint
+// that made covered durable). Call it only after that checkpoint has
+// been durably written: a truncated log without its snapshot is a
+// history with a hole, which recovery refuses (the epoch-continuity
+// check) rather than silently misapplies.
+func (w *Writer) TruncatePrefix(covered uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return errors.New("wal: writer is closed")
+	}
+	if w.failed != nil {
+		return w.failed
+	}
+
+	// Find the byte offset where the first kept record starts, peeking
+	// only each frame's leading epoch uvarint.
+	br := bufio.NewReaderSize(io.NewSectionReader(w.f, 0, w.off), 1<<20)
+	var cut int64
+	for cut < w.off {
+		payload, n, err := codec.ReadFrame(br)
+		if err != nil {
+			// The prefix below w.off was validated at Open and written by
+			// this writer; failing to re-read it is an I/O-level problem,
+			// not a torn tail.
+			return fmt.Errorf("wal: truncate-prefix scan at offset %d: %w", cut, err)
+		}
+		epoch, err := codec.NewDecoder(payload).Uvarint()
+		if err != nil {
+			return fmt.Errorf("wal: truncate-prefix scan at offset %d: %w", cut, err)
+		}
+		if epoch > covered {
+			break
+		}
+		cut += n
+	}
+	if cut == 0 {
+		return nil // nothing covered; the log already starts after the snapshot
+	}
+
+	// Copy the suffix to a temp file and swap it in atomically.
+	dir := filepath.Dir(w.path)
+	tmp, err := os.CreateTemp(dir, ".wal-tmp-")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := io.Copy(tmp, io.NewSectionReader(w.f, cut, w.off-cut)); err != nil {
+		return cleanup(fmt.Errorf("wal: copying suffix: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("wal: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("wal: %w", err))
+	}
+	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		return cleanup(fmt.Errorf("wal: %w", err))
+	}
+	// The old fd now points at the renamed-over inode; every later append
+	// must go to the new file. Failing to reopen poisons the writer —
+	// appending to the orphan inode would acknowledge writes no recovery
+	// can ever see.
+	nf, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		w.failed = fmt.Errorf("wal: log poisoned, cannot reopen after truncate-prefix: %w", err)
+		return w.failed
+	}
+	newOff := w.off - cut
+	if _, err := nf.Seek(newOff, io.SeekStart); err != nil {
+		nf.Close()
+		w.failed = fmt.Errorf("wal: log poisoned, cannot position after truncate-prefix: %w", err)
+		return w.failed
+	}
+	w.f.Close()
+	w.f = nf
+	w.off = newOff
+	w.stats.Truncations++
+	if err := codec.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
 }
 
 // Close fsyncs and closes the log.
@@ -543,44 +545,12 @@ func Replay(dir string, fn func(*Record) error) (ReplayStats, error) {
 	}
 }
 
-// readFrame reads one length-prefixed, CRC-checked payload. io.EOF
-// means a clean end of log; errTorn means an incomplete or corrupt
-// record starts here.
-func readFrame(br *bufio.Reader) ([]byte, int64, error) {
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, 0, io.EOF
-		}
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, 0, errTorn
-		}
-		return nil, 0, fmt.Errorf("wal: %w", err)
-	}
-	n := binary.LittleEndian.Uint32(hdr[0:4])
-	crc := binary.LittleEndian.Uint32(hdr[4:8])
-	if n == 0 || n > maxRecordBytes {
-		return nil, 0, errTorn
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(br, payload); err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, 0, errTorn
-		}
-		return nil, 0, fmt.Errorf("wal: %w", err)
-	}
-	if crc32.Checksum(payload, castagnoli) != crc {
-		return nil, 0, errTorn
-	}
-	return payload, int64(headerSize) + int64(n), nil
-}
-
-// readRecord is readFrame plus payload decoding. A CRC-valid but
+// readRecord is a frame read plus payload decoding. A CRC-valid but
 // undecodable payload is reported as torn too — a CRC pass means the
 // bytes are exactly what Append wrote, so this is only reachable
 // through an encoder bug, not crash damage.
 func readRecord(br *bufio.Reader) (*Record, int64, error) {
-	payload, n, err := readFrame(br)
+	payload, n, err := codec.ReadFrame(br)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -596,16 +566,12 @@ func encodePayload(b []byte, rec *Record) ([]byte, error) {
 	b = binary.AppendUvarint(b, rec.Epoch)
 	b = binary.AppendUvarint(b, uint64(len(rec.Ops)))
 	for _, op := range rec.Ops {
-		b = binary.AppendUvarint(b, uint64(len(op.Table)))
-		b = append(b, op.Table...)
+		b = codec.AppendString(b, op.Table)
 		b = binary.AppendUvarint(b, uint64(len(op.Insert)))
 		for _, row := range op.Insert {
-			b = binary.AppendUvarint(b, uint64(len(row)))
-			for _, v := range row {
-				var err error
-				if b, err = encodeValue(b, v); err != nil {
-					return nil, err
-				}
+			var err error
+			if b, err = relation.AppendTuple(b, row); err != nil {
+				return nil, err
 			}
 		}
 		b = binary.AppendUvarint(b, uint64(len(op.Delete)))
@@ -616,125 +582,44 @@ func encodePayload(b []byte, rec *Record) ([]byte, error) {
 	return b, nil
 }
 
-func encodeValue(b []byte, v relation.Value) ([]byte, error) {
-	b = append(b, byte(v.Kind))
-	switch v.Kind {
-	case relation.KindNull:
-	case relation.KindInt, relation.KindDate, relation.KindBool:
-		b = binary.AppendVarint(b, v.I)
-	case relation.KindFloat:
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F))
-	case relation.KindString:
-		b = binary.AppendUvarint(b, uint64(len(v.S)))
-		b = append(b, v.S...)
-	default:
-		return nil, fmt.Errorf("wal: unencodable value kind %v", v.Kind)
-	}
-	return b, nil
-}
-
-// decoder is a bounds-checked cursor over one record payload.
-type decoder struct {
-	b   []byte
-	off int
-}
-
-func (d *decoder) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(d.b[d.off:])
-	if n <= 0 {
-		return 0, errTorn
-	}
-	d.off += n
-	return v, nil
-}
-
-func (d *decoder) varint() (int64, error) {
-	v, n := binary.Varint(d.b[d.off:])
-	if n <= 0 {
-		return 0, errTorn
-	}
-	d.off += n
-	return v, nil
-}
-
-func (d *decoder) take(n int) ([]byte, error) {
-	if n < 0 || d.off+n > len(d.b) {
-		return nil, errTorn
-	}
-	out := d.b[d.off : d.off+n]
-	d.off += n
-	return out, nil
-}
-
-// length reads a collection length and sanity-bounds it against the
-// bytes remaining — every element consumes at least one payload byte,
-// so a count the payload cannot back is corruption. (Allocation is
-// separately capped via capHint: decoded elements can be ~64x larger
-// in memory than on disk, so counts are never trusted for up-front
-// make sizes.)
-func (d *decoder) length() (int, error) {
-	v, err := d.uvarint()
-	if err != nil {
-		return 0, err
-	}
-	if v > uint64(len(d.b)-d.off) {
-		return 0, errTorn
-	}
-	return int(v), nil
-}
-
 func decodePayload(b []byte) (*Record, error) {
-	d := &decoder{b: b}
-	epoch, err := d.uvarint()
+	d := codec.NewDecoder(b)
+	epoch, err := d.Uvarint()
 	if err != nil {
 		return nil, err
 	}
-	nops, err := d.length()
+	nops, err := d.Length()
 	if err != nil {
 		return nil, err
 	}
-	rec := &Record{Epoch: epoch, Ops: make([]Op, 0, capHint(nops))}
+	rec := &Record{Epoch: epoch, Ops: make([]Op, 0, codec.CapHint(nops))}
 	for i := 0; i < nops; i++ {
 		var op Op
-		tn, err := d.length()
-		if err != nil {
+		if op.Table, err = d.Str(); err != nil {
 			return nil, err
 		}
-		tb, err := d.take(tn)
-		if err != nil {
-			return nil, err
-		}
-		op.Table = string(tb)
-		nins, err := d.length()
+		nins, err := d.Length()
 		if err != nil {
 			return nil, err
 		}
 		if nins > 0 {
-			op.Insert = make([]relation.Tuple, 0, capHint(nins))
+			op.Insert = make([]relation.Tuple, 0, codec.CapHint(nins))
 			for j := 0; j < nins; j++ {
-				arity, err := d.length()
+				row, err := relation.DecodeTuple(d)
 				if err != nil {
 					return nil, err
-				}
-				row := make(relation.Tuple, 0, capHint(arity))
-				for k := 0; k < arity; k++ {
-					v, err := d.value()
-					if err != nil {
-						return nil, err
-					}
-					row = append(row, v)
 				}
 				op.Insert = append(op.Insert, row)
 			}
 		}
-		ndel, err := d.length()
+		ndel, err := d.Length()
 		if err != nil {
 			return nil, err
 		}
 		if ndel > 0 {
-			op.Delete = make([]bsp.VertexID, 0, capHint(ndel))
+			op.Delete = make([]bsp.VertexID, 0, codec.CapHint(ndel))
 			for j := 0; j < ndel; j++ {
-				id, err := d.varint()
+				id, err := d.Varint()
 				if err != nil {
 					return nil, err
 				}
@@ -743,43 +628,8 @@ func decodePayload(b []byte) (*Record, error) {
 		}
 		rec.Ops = append(rec.Ops, op)
 	}
-	if d.off != len(d.b) {
-		return nil, errTorn
+	if err := d.Finish(); err != nil {
+		return nil, err
 	}
 	return rec, nil
-}
-
-func (d *decoder) value() (relation.Value, error) {
-	kb, err := d.take(1)
-	if err != nil {
-		return relation.Null, err
-	}
-	switch k := relation.Kind(kb[0]); k {
-	case relation.KindNull:
-		return relation.Null, nil
-	case relation.KindInt, relation.KindDate, relation.KindBool:
-		i, err := d.varint()
-		if err != nil {
-			return relation.Null, err
-		}
-		return relation.Value{Kind: k, I: i}, nil
-	case relation.KindFloat:
-		fb, err := d.take(8)
-		if err != nil {
-			return relation.Null, err
-		}
-		return relation.Float(math.Float64frombits(binary.LittleEndian.Uint64(fb))), nil
-	case relation.KindString:
-		n, err := d.length()
-		if err != nil {
-			return relation.Null, err
-		}
-		sb, err := d.take(n)
-		if err != nil {
-			return relation.Null, err
-		}
-		return relation.Str(string(sb)), nil
-	default:
-		return relation.Null, errTorn
-	}
 }
