@@ -26,6 +26,10 @@
 //	recover     boot time from one crash image, with a mid-log
 //	            checkpoint (snapshot-load + suffix replay) vs without
 //	            it (full WAL replay), plus replayed-record counts
+//	scenario    end-to-end scenario matrix against a real tagserve
+//	            process: crash/replay, on-disk corruption, startup
+//	            refusals, fuzz barrages, skewed write load (quick
+//	            tier; `tagscenario -full` for the soak rows)
 //	all         everything above
 //
 // -exp accepts a comma-separated list (e.g. -exp engine,combine); an
@@ -46,10 +50,11 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|wal|recover|all")
+	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|wal|recover|scenario|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
@@ -97,6 +102,7 @@ func main() {
 		{"combine", func() error { return runCombine(cfg, *quick, report) }},
 		{"wal", func() error { return runWal(cfg, *quick, report) }},
 		{"recover", func() error { return runRecover(cfg, *quick, report) }},
+		{"scenario", func() error { return runScenario(cfg, *quick, report) }},
 	}
 	valid := map[string]bool{"all": true}
 	var names []string
@@ -151,6 +157,49 @@ func main() {
 		}
 		fmt.Fprintf(cfg.Out, "\nwrote %s\n", *jsonPath)
 	}
+}
+
+// runScenario runs the end-to-end matrix against a real tagserve
+// process (quick tier under -quick, everything otherwise) and records
+// pass/fail per row. A failing row fails the experiment.
+func runScenario(cfg bench.Config, quick bool, report map[string]any) error {
+	tier := scenario.Full
+	if quick {
+		tier = scenario.Quick
+	}
+	rows, err := scenario.Select(scenario.Matrix(), tier, "")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "\nScenario matrix — real-process crash/fuzz/load drills (%v tier)\n", tier)
+	r := &scenario.Runner{Out: cfg.Out}
+	results, err := r.RunAll(rows)
+	if err != nil {
+		return err
+	}
+	type row struct {
+		Name    string  `json:"name"`
+		Tier    string  `json:"tier"`
+		Passed  bool    `json:"passed"`
+		Seconds float64 `json:"seconds"`
+		Error   string  `json:"error,omitempty"`
+	}
+	var out []row
+	failed := 0
+	for _, res := range results {
+		rr := row{Name: res.Name, Tier: res.Tier.String(), Passed: res.Err == nil,
+			Seconds: res.Elapsed.Seconds()}
+		if res.Err != nil {
+			failed++
+			rr.Error = fmt.Sprintf("step %s: %v", res.Step, res.Err)
+		}
+		out = append(out, rr)
+	}
+	report["scenario"] = out
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(results))
+	}
+	return nil
 }
 
 func runCombine(cfg bench.Config, quick bool, report map[string]any) error {

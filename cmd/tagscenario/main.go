@@ -1,0 +1,69 @@
+// Command tagscenario drives a real tagserve process through the
+// declared end-to-end scenario matrix: crash/replay drills, on-disk
+// corruption, startup refusals, fuzz barrages, and skewed write load.
+//
+// Each scenario is a table row in internal/scenario.Matrix — adding
+// coverage means adding a row, not harness code.
+//
+//	tagscenario -quick            # CI smoke tier
+//	tagscenario -full             # everything, including soak rows
+//	tagscenario -run 'kill9.*'    # name filter (regexp)
+//	tagscenario -list             # print the matrix and exit
+//
+// Exit status is nonzero when any selected scenario fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run only quick-tier scenarios")
+	full := flag.Bool("full", false, "run all scenarios including soak rows")
+	run := flag.String("run", "", "run only scenarios whose name matches this regexp")
+	list := flag.Bool("list", false, "list the scenario matrix and exit")
+	verbose := flag.Bool("v", false, "log every step as it runs")
+	keep := flag.Bool("keep", false, "keep scenario scratch dirs (WALs, logs) for postmortems")
+	bin := flag.String("serve-bin", "", "tagserve binary to drive (default: build repro/cmd/tagserve)")
+	flag.Parse()
+
+	tier := scenario.Quick
+	if *full {
+		tier = scenario.Full
+	}
+	if !*quick && !*full && *run == "" && !*list {
+		*quick = true // bare invocation = the smoke tier
+	}
+
+	rows, err := scenario.Select(scenario.Matrix(), tier, *run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tagscenario:", err)
+		os.Exit(2)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "tagscenario: no scenarios selected")
+		os.Exit(2)
+	}
+	if *list {
+		for _, s := range rows {
+			fmt.Printf("%-34s %-5s %d steps  %s\n", s.Name, s.Tier, len(s.Steps), s.Doc)
+		}
+		return
+	}
+
+	r := &scenario.Runner{Binary: *bin, Keep: *keep, Verbose: *verbose, Out: os.Stdout}
+	results, err := r.RunAll(rows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tagscenario:", err)
+		os.Exit(2)
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			os.Exit(1)
+		}
+	}
+}

@@ -26,6 +26,17 @@
 //	GET  /stats                          aggregate serving statistics
 //	GET  /healthz                        liveness probe
 //
+// Harness affordances: the listener is bound before the database loads
+// and the first stdout line is always "listening http://<addr>" — with
+// -addr 127.0.0.1:0 (port 0) the kernel picks an ephemeral port and the
+// printed line is the only way to learn it, which is exactly what a
+// test harness scripting many servers wants. SIGTERM (and SIGINT)
+// trigger a graceful shutdown: in-flight requests drain through
+// http.Server.Shutdown, the WAL is fsynced and closed (releasing the
+// dir lock), and the process exits 0 — so a supervisor can distinguish
+// a clean stop from a crash or kill -9, which exits by signal with the
+// log possibly mid-append.
+//
 // Example:
 //
 //	tagserve -db tpch -scale 0.5 -sessions 8 -wal ./wal -addr :8080 &
@@ -35,10 +46,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/bsp"
@@ -64,6 +80,7 @@ func main() {
 	walInterval := flag.Duration("wal-interval", 100*time.Millisecond, "max fsync lag under -wal-sync interval")
 	ckptEvery := flag.Int("checkpoint-interval", 0, "checkpoint the served graph and truncate the covered WAL prefix every N epochs (0 = never; requires -wal)")
 	ckptBytes := flag.Int64("checkpoint-bytes", 0, "also checkpoint after this many bytes of WAL growth (0 = no byte trigger)")
+	ckptTruncate := flag.Bool("checkpoint-truncate", true, "truncate the covered WAL prefix after each periodic checkpoint (false keeps the full log: slower boots bound by the checkpoint, but a lost image can always fall back to full replay)")
 	adaptive := flag.Bool("adaptive-combine", false, "drop a query's message combiner mid-run when folds are rare (per-run sampling)")
 	flag.Parse()
 
@@ -72,6 +89,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	// Bind before loading: with port 0 the bound address is the one fact
+	// a harness cannot know in advance, so it is the first stdout line —
+	// printed before the (potentially long) data load. Connections made
+	// early sit in the accept backlog until Serve starts; /healthz
+	// answering is the readiness signal.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening http://%s\n", ln.Addr())
 
 	var cat *relation.Catalog
 	switch *workload {
@@ -91,14 +120,15 @@ func main() {
 		os.Exit(1)
 	}
 	srv, err := serve.Open(g, serve.Options{
-		Sessions:        *sessions,
-		Engine:          bsp.Options{Workers: *workers, AdaptiveCombine: *adaptive},
-		PreparedLimit:   *prepared,
-		WALDir:          *walDir,
-		WALSync:         walPolicy,
-		WALSyncInterval: *walInterval,
-		CheckpointEvery: *ckptEvery,
-		CheckpointBytes: *ckptBytes,
+		Sessions:             *sessions,
+		Engine:               bsp.Options{Workers: *workers, AdaptiveCombine: *adaptive},
+		PreparedLimit:        *prepared,
+		WALDir:               *walDir,
+		WALSync:              walPolicy,
+		WALSyncInterval:      *walInterval,
+		CheckpointEvery:      *ckptEvery,
+		CheckpointBytes:      *ckptBytes,
+		CheckpointNoTruncate: !*ckptTruncate,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -123,10 +153,34 @@ func main() {
 		durability += ")"
 	}
 	fmt.Printf("tagserve: %s at scale %g encoded in %v (%s); %d sessions, %s, %s, on %s\n",
-		*workload, *scale, time.Since(start).Round(time.Millisecond), g.G.String(), *sessions, mode, durability, *addr)
+		*workload, *scale, time.Since(start).Round(time.Millisecond), g.G.String(), *sessions, mode, durability, ln.Addr())
 
-	if err := http.ListenAndServe(*addr, handler); err != nil {
+	// Graceful shutdown on SIGTERM/SIGINT: drain in-flight requests,
+	// then fsync and close the WAL so the dir lock releases and the log
+	// ends on a record boundary. Exit 0 marks the stop as clean; a
+	// kill -9 never reaches this path and exits by signal instead.
+	hs := &http.Server{Handler: handler}
+	done := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		defer close(done)
+		sig := <-sigc
+		fmt.Printf("tagserve: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		}
+	}()
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	<-done
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("tagserve: clean shutdown")
 }

@@ -1,0 +1,296 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key and Mark are row-template placeholders for Load: Key becomes the
+// drawn (possibly hot) integer key, Mark the harness marker string, so
+// one Load declaration works against any table schema.
+var (
+	Key  = keyCell{}
+	Mark = markCell{}
+)
+
+type (
+	keyCell  struct{}
+	markCell struct{}
+)
+
+// Marker tags every row the harness writes, so count probes
+// (`... WHERE col = scenario.Marker`) are independent of the base data
+// a scale factor generated.
+const Marker = "scen-marker"
+
+// Load drives a concurrent write stream (plus optional reader traffic)
+// against a named server. Keys are drawn uniformly or Zipf-skewed —
+// the hot-key contention profile uniform TPC-H suites hide. Every
+// acknowledged insert/delete lands in the server's ledger, so a later
+// Query{WantLedger} asserts exactly what survived.
+//
+// With Background the stream runs while later steps execute (crash
+// scenarios kill the server mid-write); AwaitLoad joins it.
+// TolerateCrash downgrades connection-level failures to an end of
+// stream — any HTTP response that is not a 200, crash or not, still
+// fails the scenario.
+type Load struct {
+	Server        string
+	Table         string        // target table
+	Row           []any         // row template; Key/Mark placeholders substituted
+	SQL           string        // reader probe; empty disables readers
+	Writers       int           // concurrent writers (default 2)
+	Readers       int           // concurrent readers (default 0)
+	Duration      time.Duration // stream length (default 500ms)
+	Zipf          float64       // key skew exponent (>1); 0 = uniform
+	Keys          int           // key-space size (default 16)
+	DeleteFrac    float64       // chance a writer follows up by deleting one of its rows
+	Background    bool
+	TolerateCrash bool
+}
+
+func (s Load) Describe() string {
+	mode := "uniform"
+	if s.Zipf > 0 {
+		mode = fmt.Sprintf("zipf %.2f", s.Zipf)
+	}
+	return fmt.Sprintf("load %s %s w=%d r=%d %v keys=%d bg=%v", s.Table, mode,
+		s.writers(), s.Readers, s.duration(), s.keys(), s.Background)
+}
+
+func (s Load) writers() int {
+	if s.Writers <= 0 {
+		return 2
+	}
+	return s.Writers
+}
+
+func (s Load) keys() int {
+	if s.Keys <= 0 {
+		return 16
+	}
+	return s.Keys
+}
+
+func (s Load) duration() time.Duration {
+	if s.Duration <= 0 {
+		return 500 * time.Millisecond
+	}
+	return s.Duration
+}
+
+// loadRun is one executing Load stream.
+type loadRun struct {
+	done     chan struct{}
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	acked    atomic.Int64 // successful write requests
+	errMu    sync.Mutex
+	err      error // first hard failure
+}
+
+func (lr *loadRun) stop() { lr.stopOnce.Do(func() { close(lr.stopCh) }) }
+
+func (lr *loadRun) fail(err error) {
+	lr.errMu.Lock()
+	if lr.err == nil {
+		lr.err = err
+	}
+	lr.errMu.Unlock()
+	lr.stop()
+}
+
+func (s Load) Run(c *Ctx) error {
+	name := orMain(s.Server)
+	if _, err := c.proc(name); err != nil {
+		return err
+	}
+	if prev, ok := c.loads[name]; ok {
+		select {
+		case <-prev.done:
+		default:
+			return fmt.Errorf("server %q already has a load stream; AwaitLoad it first", name)
+		}
+	}
+	lr := &loadRun{done: make(chan struct{}), stopCh: make(chan struct{})}
+	c.loads[name] = lr
+
+	st := c.state(name)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(s.duration())
+	for i := 0; i < s.writers(); i++ {
+		wg.Add(1)
+		go s.writerLoop(c, name, st, lr, i, deadline, &wg)
+	}
+	for i := 0; i < s.Readers; i++ {
+		wg.Add(1)
+		go s.readerLoop(c, name, lr, i, deadline, &wg)
+	}
+	go func() {
+		wg.Wait()
+		close(lr.done)
+	}()
+
+	if s.Background {
+		return nil
+	}
+	return AwaitLoad{Server: name}.Run(c)
+}
+
+// rng builds a deterministic per-worker source so reruns draw the same
+// key sequences.
+func loadRNG(name string, worker int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d", name, worker)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+func (s Load) writerLoop(c *Ctx, name string, st *serverState, lr *loadRun, worker int, deadline time.Time, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := loadRNG(name, worker)
+	var zipf *rand.Zipf
+	if s.Zipf > 0 {
+		exp := s.Zipf
+		if exp <= 1 {
+			exp = 1.1 // rand.Zipf requires s > 1
+		}
+		zipf = rand.NewZipf(rng, exp, 1, uint64(s.keys()-1))
+	}
+	var owned []int64 // vertex ids this writer inserted and may delete
+	for time.Now().Before(deadline) {
+		select {
+		case <-lr.stopCh:
+			return
+		default:
+		}
+		key := int64(rng.Intn(s.keys()))
+		if zipf != nil {
+			key = int64(zipf.Uint64())
+		}
+		row := make([]any, len(s.Row))
+		for j, cell := range s.Row {
+			switch cell.(type) {
+			case keyCell:
+				row[j] = key
+			case markCell:
+				row[j] = Marker
+			default:
+				row[j] = cell
+			}
+		}
+		ids, ok := s.postWrite(c, name, lr, map[string]any{"table": s.Table, "insert": [][]any{row}}, st, 1)
+		if !ok {
+			return
+		}
+		owned = append(owned, ids...)
+		if s.DeleteFrac > 0 && len(owned) > 0 && rng.Float64() < s.DeleteFrac {
+			victim := rng.Intn(len(owned))
+			id := owned[victim]
+			owned = append(owned[:victim], owned[victim+1:]...)
+			if _, ok := s.postWrite(c, name, lr, map[string]any{"delete": []int64{id}}, st, -1); !ok {
+				return
+			}
+		}
+	}
+}
+
+// postWrite sends one /write and books the ack. Returns ok=false when
+// the stream should end (stop signal, crash under TolerateCrash, or a
+// hard failure, which it records).
+func (s Load) postWrite(c *Ctx, name string, lr *loadRun, payload map[string]any, st *serverState, ledgerDelta int64) ([]int64, bool) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		lr.fail(err)
+		return nil, false
+	}
+	status, out, err := c.do(name, http.MethodPost, "/write", body)
+	if err != nil {
+		if s.TolerateCrash {
+			return nil, false // the crash the scenario is about
+		}
+		lr.fail(fmt.Errorf("writer: %w", err))
+		return nil, false
+	}
+	if status != http.StatusOK {
+		lr.fail(fmt.Errorf("writer: /write status %d: %s", status, out))
+		return nil, false
+	}
+	var resp struct {
+		Epoch    uint64  `json:"epoch"`
+		Inserted []int64 `json:"inserted"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		lr.fail(fmt.Errorf("writer: /write response: %w", err))
+		return nil, false
+	}
+	st.ack(resp.Epoch, ledgerDelta)
+	lr.acked.Add(1)
+	return resp.Inserted, true
+}
+
+func (s Load) readerLoop(c *Ctx, name string, lr *loadRun, worker int, deadline time.Time, wg *sync.WaitGroup) {
+	defer wg.Done()
+	path := "/query?sql=" + url.QueryEscape(s.SQL)
+	for time.Now().Before(deadline) {
+		select {
+		case <-lr.stopCh:
+			return
+		default:
+		}
+		status, out, err := c.do(name, http.MethodGet, path, nil)
+		if err != nil {
+			if s.TolerateCrash {
+				return
+			}
+			lr.fail(fmt.Errorf("reader: %w", err))
+			return
+		}
+		if status != http.StatusOK {
+			lr.fail(fmt.Errorf("reader: /query status %d: %s", status, out))
+			return
+		}
+		_ = out
+	}
+}
+
+// AwaitLoad joins a (background) Load stream and fails the scenario on
+// any hard error it hit — or if it never acknowledged a single write,
+// which would make every downstream "survived the load" assertion
+// vacuous.
+type AwaitLoad struct{ Server string }
+
+func (s AwaitLoad) Describe() string { return "await load on " + orMain(s.Server) }
+
+func (s AwaitLoad) Run(c *Ctx) error {
+	name := orMain(s.Server)
+	lr, ok := c.loads[name]
+	if !ok {
+		return errors.New("no load stream to await")
+	}
+	select {
+	case <-lr.done:
+	case <-time.After(startTimeout):
+		lr.stop()
+		<-lr.done
+		return fmt.Errorf("load on %q did not finish within %v", name, startTimeout)
+	}
+	lr.errMu.Lock()
+	err := lr.err
+	lr.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if lr.acked.Load() == 0 {
+		return errors.New("load stream acknowledged zero writes")
+	}
+	c.Logf("load on %s: %d writes acked", name, lr.acked.Load())
+	return nil
+}

@@ -1,0 +1,261 @@
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// startTimeout bounds how long a server may take to print its
+// "listening" line and pass /healthz (data generation and graph
+// encoding happen in between, plus WAL replay on restarts).
+const startTimeout = 120 * time.Second
+
+// proc is one live (or exited) server process under harness control.
+type proc struct {
+	name   string
+	flags  []string // argv it was started with, for Restart
+	cmd    *exec.Cmd
+	addr   string // base URL, e.g. http://127.0.0.1:43231
+	stdout *tailBuffer
+	stderr *tailBuffer
+
+	done    chan struct{} // closed once Wait has returned
+	waitErr error         // cmd.Wait's result, valid after done
+}
+
+// tailBuffer keeps the most recent limit bytes written to it — enough
+// context for a failure report without buffering a load test's output.
+type tailBuffer struct {
+	mu    sync.Mutex
+	limit int
+	buf   []byte
+}
+
+func newTail(limit int) *tailBuffer { return &tailBuffer{limit: limit} }
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > t.limit {
+		t.buf = append(t.buf[:0], t.buf[len(t.buf)-t.limit:]...)
+	}
+	return len(p), nil
+}
+
+func (t *tailBuffer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return string(t.buf)
+}
+
+// listeningPrefix is the contract with tagserve: its first stdout line
+// is "listening http://<addr>", the harness's only way to learn an
+// ephemeral (-addr :0) port.
+const listeningPrefix = "listening http://"
+
+// spawn launches binary with flags, wiring stdout through the
+// listening-line scanner and both streams into tail buffers. The
+// returned channel yields the bound address if the first stdout line
+// follows the protocol, and closes either way.
+func spawn(name, binary string, flags []string) (*proc, <-chan string, error) {
+	cmd := exec.Command(binary, flags...)
+	p := &proc{
+		name:   name,
+		flags:  append([]string(nil), flags...),
+		cmd:    cmd,
+		stdout: newTail(8 << 10),
+		stderr: newTail(8 << 10),
+		done:   make(chan struct{}),
+	}
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	cmd.Stderr = p.stderr
+	if err := cmd.Start(); err != nil {
+		return nil, nil, fmt.Errorf("starting %s: %w", binary, err)
+	}
+
+	addrCh := make(chan string, 1)
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		sc := bufio.NewScanner(outPipe)
+		sc.Buffer(make([]byte, 64<<10), 64<<10)
+		first := true
+		for sc.Scan() {
+			line := sc.Text()
+			p.stdout.Write([]byte(line + "\n"))
+			if first {
+				first = false
+				if strings.HasPrefix(line, listeningPrefix) {
+					addrCh <- strings.TrimSpace(strings.TrimPrefix(line, listeningPrefix))
+				}
+				close(addrCh)
+			}
+		}
+		if first {
+			close(addrCh) // exited before printing anything
+		}
+		io.Copy(io.Discard, outPipe)
+	}()
+	go func() {
+		readers.Wait()
+		p.waitErr = cmd.Wait()
+		close(p.done)
+	}()
+	return p, addrCh, nil
+}
+
+// startProcess launches binary with flags and blocks until the process
+// announces its bound address on stdout. Readiness (healthz) is the
+// caller's concern.
+func startProcess(name, binary string, flags []string) (*proc, error) {
+	p, addrCh, err := spawn(name, binary, flags)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			// The process spoke, but not the protocol. Give it a moment to
+			// exit on its own (a flag error, say) before killing it, so the
+			// exit state reflects the process, not the harness.
+			select {
+			case <-p.done:
+			case <-time.After(2 * time.Second):
+				p.kill()
+				<-p.done
+			}
+			return p, fmt.Errorf("%s: no %q line on stdout (stdout %q, stderr %q)",
+				name, listeningPrefix, p.stdout.String(), p.stderr.String())
+		}
+		p.addr = "http://" + normalizeHost(addr)
+		return p, nil
+	case <-p.done:
+		return p, fmt.Errorf("%s: exited before listening: %v (stderr %q)", name, p.waitErr, p.stderr.String())
+	case <-time.After(startTimeout):
+		p.kill()
+		return p, fmt.Errorf("%s: no listening line within %v", name, startTimeout)
+	}
+}
+
+// runToExit launches binary with flags and waits for the process to
+// exit on its own — the path for scenarios that expect a refusal
+// (foreign WAL base, second writer). A process still alive at the
+// deadline is killed and reported as an error.
+func runToExit(name, binary string, flags []string, timeout time.Duration) (*proc, error) {
+	p, _, err := spawn(name, binary, flags)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-p.done:
+		return p, nil
+	case <-time.After(timeout):
+		p.kill()
+		<-p.done
+		return p, fmt.Errorf("%s: expected the process to exit, still running after %v", name, timeout)
+	}
+}
+
+// normalizeHost rewrites an unspecified bind host (":8080", "[::]:80",
+// "0.0.0.0:80") to a loopback address a client can actually dial.
+func normalizeHost(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		return net.JoinHostPort("127.0.0.1", port)
+	}
+	return addr
+}
+
+// waitHealthy polls /healthz until it answers 200, the process exits,
+// or the deadline passes. The listener is bound before the data load,
+// so connections succeed early but requests only complete once the
+// handler is serving.
+func (p *proc) waitHealthy(client *http.Client, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		select {
+		case <-p.done:
+			return fmt.Errorf("%s: exited while coming up: %v (stderr %q)", p.name, p.waitErr, p.stderr.String())
+		default:
+		}
+		resp, err := client.Get(p.addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s: not healthy within %v", p.name, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// alive reports whether the process has not yet been waited on.
+func (p *proc) alive() bool {
+	select {
+	case <-p.done:
+		return false
+	default:
+		return true
+	}
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}
+
+// signal sends sig and waits for exit (SIGKILL cannot be caught, so
+// this always terminates; SIGTERM relies on the server's graceful
+// path, hence the generous deadline).
+func (p *proc) signal(sig syscall.Signal, timeout time.Duration) error {
+	if p.cmd.Process == nil {
+		return fmt.Errorf("%s: never started", p.name)
+	}
+	if err := p.cmd.Process.Signal(sig); err != nil {
+		return fmt.Errorf("%s: delivering %v: %w", p.name, sig, err)
+	}
+	select {
+	case <-p.done:
+		return nil
+	case <-time.After(timeout):
+		p.kill()
+		<-p.done
+		return fmt.Errorf("%s: still running %v after %v; killed", p.name, sig, timeout)
+	}
+}
+
+// exitState describes how the process ended: (signal, true) when
+// terminated by a signal, (exit code, false) otherwise. Call only
+// after the process exited.
+func (p *proc) exitState() (code int, sig syscall.Signal, bySignal bool) {
+	st := p.cmd.ProcessState
+	if st == nil {
+		return -1, 0, false
+	}
+	if ws, ok := st.Sys().(syscall.WaitStatus); ok && ws.Signaled() {
+		return -1, ws.Signal(), true
+	}
+	return st.ExitCode(), 0, false
+}

@@ -1,0 +1,312 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Runner executes scenarios, each in an isolated scratch directory
+// against its own tagserve processes.
+type Runner struct {
+	// Binary is the tagserve executable to drive. Empty builds
+	// repro/cmd/tagserve once into the scratch root with the go tool.
+	Binary string
+	// BaseDir is the scratch root; empty uses a fresh temp dir.
+	BaseDir string
+	// Keep leaves scenario directories (WALs, checkpoints, logs) on disk
+	// for postmortems instead of removing them on success.
+	Keep bool
+	// Verbose logs every step as it runs.
+	Verbose bool
+	// Out receives progress and the report; nil discards.
+	Out io.Writer
+}
+
+// Result is one scenario's outcome.
+type Result struct {
+	Name    string
+	Tier    Tier
+	Err     error
+	Step    string // failing step's description, when Err != nil
+	Elapsed time.Duration
+}
+
+// Ctx is the mutable state a scenario's steps share: the scratch dir,
+// the server processes by name, and per-server write ledgers that turn
+// "replay must reach the exact pre-crash epoch" into a declarative
+// assertion.
+type Ctx struct {
+	Dir    string
+	Binary string
+	Client *http.Client
+	Logf   func(format string, args ...any)
+
+	procs     map[string]*proc
+	lastFlags map[string][]string
+	states    map[string]*serverState
+	loads     map[string]*loadRun
+}
+
+// serverState is the harness-side ledger for one named server: what
+// the harness knows was acknowledged, against which restart scenarios
+// assert.
+type serverState struct {
+	mu     sync.Mutex
+	acked  uint64  // highest write epoch the server acknowledged
+	ledger int64   // marker rows inserted minus deleted (acked only)
+	last   []int64 // tuple-vertex ids of the last successful Write step
+}
+
+func (st *serverState) ack(epoch uint64, ledgerDelta int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if epoch > st.acked {
+		st.acked = epoch
+	}
+	st.ledger += ledgerDelta
+}
+
+func (st *serverState) snapshot() (acked uint64, ledger int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.acked, st.ledger
+}
+
+// defaultServer names the implicit single server of most scenarios.
+const defaultServer = "main"
+
+func orMain(name string) string {
+	if name == "" {
+		return defaultServer
+	}
+	return name
+}
+
+// expand substitutes the scenario's scratch directory for {dir} — the
+// one path scenarios must share across restarts without knowing it.
+func (c *Ctx) expand(s string) string { return strings.ReplaceAll(s, "{dir}", c.Dir) }
+
+func (c *Ctx) expandAll(in []string) []string {
+	out := make([]string, len(in))
+	for i, s := range in {
+		out[i] = c.expand(s)
+	}
+	return out
+}
+
+// proc returns the named server, which must have been started.
+func (c *Ctx) proc(name string) (*proc, error) {
+	p, ok := c.procs[orMain(name)]
+	if !ok {
+		return nil, fmt.Errorf("no server %q started", orMain(name))
+	}
+	return p, nil
+}
+
+// state returns (creating on demand) the named server's ledger.
+func (c *Ctx) state(name string) *serverState {
+	name = orMain(name)
+	st, ok := c.states[name]
+	if !ok {
+		st = &serverState{}
+		c.states[name] = st
+	}
+	return st
+}
+
+// do issues one HTTP request to a named server and returns the status
+// and body.
+func (c *Ctx) do(server, method, path string, body []byte) (int, []byte, error) {
+	p, err := c.proc(server)
+	if err != nil {
+		return 0, nil, err
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, p.addr+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.Client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, out, nil
+}
+
+// stats fetches /stats as a name → number map, so assertion steps can
+// address any counter by its JSON name without a schema dependency.
+func (c *Ctx) stats(server string) (map[string]float64, error) {
+	status, body, err := c.do(server, http.MethodGet, "/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("/stats: status %d: %s", status, body)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(body, &raw); err != nil {
+		return nil, fmt.Errorf("/stats: %w", err)
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out, nil
+}
+
+// statField looks a counter up by JSON name, erroring on a typo rather
+// than silently asserting against zero.
+func (c *Ctx) statField(server, field string) (float64, error) {
+	st, err := c.stats(server)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := st[field]
+	if !ok {
+		return 0, fmt.Errorf("/stats has no numeric field %q", field)
+	}
+	return v, nil
+}
+
+// cleanup terminates everything a scenario left running.
+func (c *Ctx) cleanup() {
+	for _, lr := range c.loads {
+		lr.stop()
+	}
+	for _, lr := range c.loads {
+		<-lr.done
+	}
+	for _, p := range c.procs {
+		if p.alive() {
+			p.kill()
+			<-p.done
+		}
+	}
+}
+
+// EnsureBinary returns a tagserve binary path, building
+// repro/cmd/tagserve into dir with the go tool when bin is empty.
+func EnsureBinary(bin, dir string) (string, error) {
+	if bin != "" {
+		if _, err := os.Stat(bin); err != nil {
+			return "", fmt.Errorf("scenario: tagserve binary: %w", err)
+		}
+		return bin, nil
+	}
+	out := filepath.Join(dir, "tagserve")
+	cmd := exec.Command("go", "build", "-o", out, "repro/cmd/tagserve")
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("scenario: building tagserve: %v\n%s", err, msg)
+	}
+	return out, nil
+}
+
+// RunAll executes rows in order and renders a report to r.Out. The
+// returned results are in row order; the error only reports harness
+// failures (scenario failures live in the results).
+func (r *Runner) RunAll(rows []Scenario) ([]Result, error) {
+	out := r.Out
+	if out == nil {
+		out = io.Discard
+	}
+	base := r.BaseDir
+	if base == "" {
+		var err error
+		base, err = os.MkdirTemp("", "tagscenario-")
+		if err != nil {
+			return nil, err
+		}
+		if !r.Keep {
+			defer os.RemoveAll(base)
+		}
+	}
+	bin, err := EnsureBinary(r.Binary, base)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]Result, 0, len(rows))
+	failed := 0
+	for _, s := range rows {
+		res := r.runOne(s, bin, base)
+		results = append(results, res)
+		status := "ok"
+		if res.Err != nil {
+			failed++
+			status = "FAIL"
+		}
+		fmt.Fprintf(out, "%-34s %-5s %7.2fs  %s\n", s.Name, status, res.Elapsed.Seconds(), s.Doc)
+		if res.Err != nil {
+			fmt.Fprintf(out, "    step %s\n    %v\n", res.Step, res.Err)
+		}
+	}
+	fmt.Fprintf(out, "scenarios: %d ran, %d failed\n", len(results), failed)
+	if r.Keep {
+		fmt.Fprintf(out, "scratch dirs kept under %s\n", base)
+	}
+	return results, nil
+}
+
+// runOne executes a single scenario in its own directory.
+func (r *Runner) runOne(s Scenario, bin, base string) Result {
+	start := time.Now()
+	dir := filepath.Join(base, s.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Result{Name: s.Name, Tier: s.Tier, Err: err, Elapsed: time.Since(start)}
+	}
+	out := r.Out
+	if out == nil {
+		out = io.Discard
+	}
+	c := &Ctx{
+		Dir:       dir,
+		Binary:    bin,
+		Client:    &http.Client{Timeout: 60 * time.Second},
+		procs:     map[string]*proc{},
+		lastFlags: map[string][]string{},
+		states:    map[string]*serverState{},
+		loads:     map[string]*loadRun{},
+	}
+	c.Logf = func(format string, args ...any) {
+		if r.Verbose {
+			fmt.Fprintf(out, "  ["+s.Name+"] "+format+"\n", args...)
+		}
+	}
+	defer c.cleanup()
+
+	for i, step := range s.Steps {
+		c.Logf("step %d/%d: %s", i+1, len(s.Steps), step.Describe())
+		if err := step.Run(c); err != nil {
+			return Result{Name: s.Name, Tier: s.Tier, Err: err,
+				Step:    fmt.Sprintf("%d/%d %s", i+1, len(s.Steps), step.Describe()),
+				Elapsed: time.Since(start)}
+		}
+	}
+	if !r.Keep {
+		c.cleanup() // release flocks before removing the tree
+		os.RemoveAll(dir)
+	}
+	return Result{Name: s.Name, Tier: s.Tier, Elapsed: time.Since(start)}
+}

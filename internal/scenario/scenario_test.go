@@ -1,0 +1,320 @@
+package scenario
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// newTestCtx builds a Ctx the way the runner does, against a stub
+// binary instead of a real tagserve.
+func newTestCtx(t *testing.T, binary string) *Ctx {
+	t.Helper()
+	c := &Ctx{
+		Dir:       t.TempDir(),
+		Binary:    binary,
+		Client:    &http.Client{Timeout: 10 * time.Second},
+		Logf:      func(format string, args ...any) { t.Logf(format, args...) },
+		procs:     map[string]*proc{},
+		lastFlags: map[string][]string{},
+		states:    map[string]*serverState{},
+		loads:     map[string]*loadRun{},
+	}
+	t.Cleanup(c.cleanup)
+	return c
+}
+
+// stubServer writes a shell script that speaks the tagserve harness
+// protocol — records its argv to <script>.args, prints the listening
+// line pointing at the given health endpoint's port (its first
+// argument), exits 0 on SIGTERM — and a backing HTTP server that
+// answers /healthz. It returns the script path and the port flag.
+func stubServer(t *testing.T) (script, port string) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(ts.Close)
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	script = filepath.Join(t.TempDir(), "stub-tagserve")
+	body := `#!/bin/sh
+echo "$@" > "$0.args"
+trap 'exit 0' TERM
+echo "listening http://127.0.0.1:$1"
+while :; do sleep 0.1; done
+`
+	if err := os.WriteFile(script, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return script, u.Port()
+}
+
+func stubArgs(t *testing.T, script string) string {
+	t.Helper()
+	out, err := os.ReadFile(script + ".args")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// TestKillDeliversSIGKILL drives the real Start/Kill steps against the
+// stub and checks the process genuinely died by SIGKILL — the property
+// every crash scenario's validity rests on.
+func TestKillDeliversSIGKILL(t *testing.T) {
+	script, port := stubServer(t)
+	c := newTestCtx(t, script)
+
+	if err := (Start{Flags: []string{port}}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Kill{}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	p := c.procs["main"]
+	if _, sig, bySignal := p.exitState(); !bySignal || sig != syscall.SIGKILL {
+		t.Fatalf("exit state = %v, want death by SIGKILL", p.cmd.ProcessState)
+	}
+}
+
+// TestStopRequiresCleanExit: SIGTERM against the trapping stub is a
+// clean stop; the Stop step accepts exactly that.
+func TestStopRequiresCleanExit(t *testing.T) {
+	script, port := stubServer(t)
+	c := newTestCtx(t, script)
+
+	if err := (Start{Flags: []string{port}}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Stop{}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, bySignal := c.procs["main"].exitState(); bySignal || code != 0 {
+		t.Fatalf("exit state = %v, want exit 0", c.procs["main"].cmd.ProcessState)
+	}
+}
+
+// TestRestartPreservesFlags kills the stub and restarts it with an
+// Extra flag: the relaunched argv must be the original flags plus the
+// extra, in order — what makes "same WAL dir, same base" restarts hold.
+func TestRestartPreservesFlags(t *testing.T) {
+	script, port := stubServer(t)
+	c := newTestCtx(t, script)
+
+	flags := []string{port, "-db", "tpch", "-wal", "{dir}/wal"}
+	if err := (Start{Flags: flags}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%s -db tpch -wal %s/wal", port, c.Dir)
+	if got := stubArgs(t, script); got != want {
+		t.Fatalf("start argv = %q, want %q", got, want)
+	}
+	if err := (Kill{}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Restart{Extra: []string{"-extra"}}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if got := stubArgs(t, script); got != want+" -extra" {
+		t.Fatalf("restart argv = %q, want %q", got, want+" -extra")
+	}
+}
+
+// TestStartRequiresListeningLine: a binary that never prints the
+// protocol line is a startup failure, not a hang.
+func TestStartRequiresListeningLine(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "mute")
+	if err := os.WriteFile(script, []byte("#!/bin/sh\necho hello world\nexit 3\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCtx(t, script)
+	err := (Start{Flags: nil}).Run(c)
+	if err == nil || !strings.Contains(err.Error(), "listening") {
+		t.Fatalf("err = %v, want a listening-line protocol error", err)
+	}
+}
+
+// TestExpectStartFailWantsSelfExit: the refusal step accepts a clean
+// nonzero exit with matching stderr and rejects exit 0.
+func TestExpectStartFailWantsSelfExit(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "refuser")
+	body := "#!/bin/sh\necho 'wal: dir already has a live writer' >&2\nexit 1\n"
+	if err := os.WriteFile(script, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCtx(t, script)
+	if err := (ExpectStartFail{WantStderr: "live writer"}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ExpectStartFail{WantStderr: "some other refusal"}).Run(c); err == nil {
+		t.Fatal("mismatched stderr accepted")
+	}
+
+	ok := filepath.Join(t.TempDir(), "succeeder")
+	if err := os.WriteFile(ok, []byte("#!/bin/sh\nexit 0\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	c2 := newTestCtx(t, ok)
+	if err := (ExpectStartFail{}).Run(c2); err == nil {
+		t.Fatal("exit 0 accepted as a startup refusal")
+	}
+}
+
+// TestCorruptFileHitsDeclaredOffset verifies the damage step flips
+// exactly the byte it names — positive and negative offsets — and
+// leaves every other byte alone.
+func TestCorruptFileHitsDeclaredOffset(t *testing.T) {
+	c := newTestCtx(t, "/bin/false")
+	orig := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	path := filepath.Join(c.Dir, "victim.bin")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := (CorruptFile{Glob: "victim.bin", Offset: 2, XOR: 0x0F}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	want := append([]byte(nil), orig...)
+	want[2] ^= 0x0F
+	if string(got) != string(want) {
+		t.Fatalf("after offset 2: % x, want % x", got, want)
+	}
+
+	// Negative offset counts from the end; default mask is 0xFF.
+	if err := (CorruptFile{Glob: "victim.bin", Offset: -1}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	want[len(want)-1] ^= 0xFF
+	if string(got) != string(want) {
+		t.Fatalf("after offset -1: % x, want % x", got, want)
+	}
+
+	// Out-of-range offsets are declared mistakes, not silent no-ops.
+	if err := (CorruptFile{Glob: "victim.bin", Offset: int64(len(orig))}).Run(c); err == nil {
+		t.Fatal("offset past EOF accepted")
+	}
+	if err := (CorruptFile{Glob: "victim.bin", Offset: -int64(len(orig)) - 1}).Run(c); err == nil {
+		t.Fatal("negative offset before start accepted")
+	}
+}
+
+// TestTruncateFileTrimsExactly checks the torn-tail primitive.
+func TestTruncateFileTrimsExactly(t *testing.T) {
+	c := newTestCtx(t, "/bin/false")
+	path := filepath.Join(c.Dir, "log.bin")
+	if err := os.WriteFile(path, make([]byte, 100), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := (TruncateFile{Glob: "log.bin", Trim: 3}).Run(c); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() != 97 {
+		t.Fatalf("size = %d, want 97", fi.Size())
+	}
+	if err := (TruncateFile{Glob: "log.bin", Trim: 98}).Run(c); err == nil {
+		t.Fatal("trim past start accepted")
+	}
+	if err := (TruncateFile{Glob: "log.bin", Trim: 0}).Run(c); err == nil {
+		t.Fatal("zero trim accepted")
+	}
+}
+
+// TestResolveOneIsExact: damage globs must name exactly one file — a
+// glob silently picking one of several would damage the wrong artifact.
+func TestResolveOneIsExact(t *testing.T) {
+	c := newTestCtx(t, "/bin/false")
+	for _, name := range []string{"a.ckpt", "b.ckpt"} {
+		if err := os.WriteFile(filepath.Join(c.Dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := resolveOne(c, "*.ckpt"); err == nil {
+		t.Fatal("ambiguous glob accepted")
+	}
+	if _, err := resolveOne(c, "missing-*"); err == nil {
+		t.Fatal("empty glob accepted")
+	}
+	if got, err := resolveOne(c, "a.*"); err != nil || filepath.Base(got) != "a.ckpt" {
+		t.Fatalf("resolveOne = %q, %v", got, err)
+	}
+}
+
+// TestNormalizeHost covers the ephemeral-bind address rewrites.
+func TestNormalizeHost(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:8080": "127.0.0.1:8080",
+		"0.0.0.0:8080":   "127.0.0.1:8080",
+		"[::]:8080":      "127.0.0.1:8080",
+		":8080":          "127.0.0.1:8080",
+		"not-an-addr":    "not-an-addr",
+	}
+	for in, want := range cases {
+		if got := normalizeHost(in); got != want {
+			t.Errorf("normalizeHost(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSelectFiltersTierAndName pins the matrix contract the CI smoke
+// step relies on: a quick tier of at least 10 rows, name regexps, and
+// rejection of bad patterns.
+func TestSelectFiltersTierAndName(t *testing.T) {
+	all := Matrix()
+	quick, err := Select(all, Quick, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quick) < 10 {
+		t.Fatalf("quick tier has %d scenarios, want >= 10", len(quick))
+	}
+	full, err := Select(all, Full, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= len(quick) {
+		t.Fatalf("full tier (%d) should strictly contain quick (%d)", len(full), len(quick))
+	}
+	named, err := Select(all, Full, "^kill9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(named) == 0 {
+		t.Fatal("name filter matched nothing")
+	}
+	for _, s := range named {
+		if !strings.HasPrefix(s.Name, "kill9") {
+			t.Errorf("filter leaked %q", s.Name)
+		}
+	}
+	if _, err := Select(all, Quick, "("); err == nil {
+		t.Fatal("bad regexp accepted")
+	}
+
+	seen := map[string]bool{}
+	for _, s := range all {
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Doc == "" || len(s.Steps) == 0 {
+			t.Errorf("scenario %q is missing doc or steps", s.Name)
+		}
+	}
+}

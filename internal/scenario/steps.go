@@ -1,0 +1,633 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// ---- process control ----------------------------------------------------
+
+// Start launches a named tagserve with the given flags ({dir} expands
+// to the scenario directory) and waits until it is healthy. The flags
+// are remembered for Restart.
+type Start struct {
+	Server string // defaults to "main"
+	Flags  []string
+}
+
+func (s Start) Describe() string { return fmt.Sprintf("start %s %v", orMain(s.Server), s.Flags) }
+
+func (s Start) Run(c *Ctx) error {
+	name := orMain(s.Server)
+	if p, ok := c.procs[name]; ok && p.alive() {
+		return fmt.Errorf("server %q already running", name)
+	}
+	flags := c.expandAll(s.Flags)
+	p, err := startProcess(name, c.Binary, flags)
+	if err != nil {
+		return err
+	}
+	if err := p.waitHealthy(c.Client, startTimeout); err != nil {
+		p.kill()
+		<-p.done
+		return err
+	}
+	c.procs[name] = p
+	c.lastFlags[name] = flags
+	c.Logf("%s up at %s", name, p.addr)
+	return nil
+}
+
+// Restart relaunches a named server with the same flags as its last
+// Start (plus Extra), after it has exited. This is where crash
+// scenarios meet recovery: same WAL dir, same base, fresh process.
+type Restart struct {
+	Server string
+	Extra  []string
+}
+
+func (s Restart) Describe() string { return fmt.Sprintf("restart %s %v", orMain(s.Server), s.Extra) }
+
+func (s Restart) Run(c *Ctx) error {
+	name := orMain(s.Server)
+	flags, ok := c.lastFlags[name]
+	if !ok {
+		return fmt.Errorf("server %q was never started", name)
+	}
+	if p, ok := c.procs[name]; ok && p.alive() {
+		return fmt.Errorf("server %q still running; kill or stop it first", name)
+	}
+	return Start{Server: name, Flags: append(append([]string(nil), flags...), c.expandAll(s.Extra)...)}.Run(c)
+}
+
+// Kill delivers SIGKILL — the crash. The step verifies the process
+// actually died by that signal, so a scenario cannot silently degrade
+// into testing a clean exit.
+type Kill struct{ Server string }
+
+func (s Kill) Describe() string { return "kill -9 " + orMain(s.Server) }
+
+func (s Kill) Run(c *Ctx) error {
+	p, err := c.proc(s.Server)
+	if err != nil {
+		return err
+	}
+	if err := p.signal(syscall.SIGKILL, 10*time.Second); err != nil {
+		return err
+	}
+	if _, sig, bySignal := p.exitState(); !bySignal || sig != syscall.SIGKILL {
+		return fmt.Errorf("%s: expected death by SIGKILL, got %v", p.name, p.cmd.ProcessState)
+	}
+	return nil
+}
+
+// Stop delivers SIGTERM and requires a clean exit (code 0): in-flight
+// requests drained, WAL fsynced and closed. Anything else — a hang, a
+// crash on the shutdown path — fails the scenario.
+type Stop struct{ Server string }
+
+func (s Stop) Describe() string { return "stop (SIGTERM) " + orMain(s.Server) }
+
+func (s Stop) Run(c *Ctx) error {
+	p, err := c.proc(s.Server)
+	if err != nil {
+		return err
+	}
+	if err := p.signal(syscall.SIGTERM, 30*time.Second); err != nil {
+		return err
+	}
+	if code, sig, bySignal := p.exitState(); bySignal || code != 0 {
+		return fmt.Errorf("%s: expected clean exit 0 on SIGTERM, got code=%d signal=%v (stderr %q)",
+			p.name, code, sig, p.stderr.String())
+	}
+	return nil
+}
+
+// ExpectStartFail launches a server expecting it to refuse to serve:
+// exit on its own, nonzero, with WantStderr in its stderr. Reuse names
+// a started server whose flags to reuse (Extra appended); otherwise
+// Flags is the full argv.
+type ExpectStartFail struct {
+	Server     string // name for logs only; defaults to "refused"
+	Flags      []string
+	Reuse      string // reuse lastFlags of this server
+	Extra      []string
+	WantStderr string
+}
+
+func (s ExpectStartFail) Describe() string {
+	return fmt.Sprintf("expect start failure (%s)", s.WantStderr)
+}
+
+func (s ExpectStartFail) Run(c *Ctx) error {
+	flags := c.expandAll(s.Flags)
+	if s.Reuse != "" {
+		prev, ok := c.lastFlags[orMain(s.Reuse)]
+		if !ok {
+			return fmt.Errorf("no flags to reuse from server %q", s.Reuse)
+		}
+		flags = append(append([]string(nil), prev...), c.expandAll(s.Extra)...)
+	}
+	name := s.Server
+	if name == "" {
+		name = "refused"
+	}
+	p, err := runToExit(name, c.Binary, flags, startTimeout)
+	if err != nil {
+		return err
+	}
+	code, sig, bySignal := p.exitState()
+	if bySignal {
+		return fmt.Errorf("%s: died by signal %v instead of refusing cleanly", name, sig)
+	}
+	if code == 0 {
+		return fmt.Errorf("%s: expected a startup refusal, got exit 0 (stdout %q)", name, p.stdout.String())
+	}
+	if s.WantStderr != "" && !strings.Contains(p.stderr.String(), s.WantStderr) {
+		return fmt.Errorf("%s: stderr %q does not contain %q", name, p.stderr.String(), s.WantStderr)
+	}
+	return nil
+}
+
+// ---- traffic ------------------------------------------------------------
+
+// Write POSTs one /write batch and expects success. Acked epoch,
+// inserted vertex ids, and the row ledger are recorded for later
+// assertions. DeletePrev deletes the ids of the previous successful
+// Write on the same server.
+type Write struct {
+	Server     string
+	Table      string
+	Rows       [][]any
+	Delete     []int64
+	DeletePrev bool
+}
+
+func (s Write) Describe() string {
+	return fmt.Sprintf("write %s rows=%d del=%d delPrev=%v", s.Table, len(s.Rows), len(s.Delete), s.DeletePrev)
+}
+
+func (s Write) Run(c *Ctx) error {
+	st := c.state(s.Server)
+	del := append([]int64(nil), s.Delete...)
+	if s.DeletePrev {
+		st.mu.Lock()
+		del = append(del, st.last...)
+		st.mu.Unlock()
+	}
+	payload := map[string]any{}
+	if s.Table != "" {
+		payload["table"] = s.Table
+	}
+	if len(s.Rows) > 0 {
+		payload["insert"] = s.Rows
+	}
+	if len(del) > 0 {
+		payload["delete"] = del
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	status, out, err := c.do(s.Server, http.MethodPost, "/write", body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/write: status %d: %s", status, out)
+	}
+	var resp struct {
+		Epoch    uint64  `json:"epoch"`
+		Inserted []int64 `json:"inserted"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return fmt.Errorf("/write response: %w", err)
+	}
+	st.ack(resp.Epoch, int64(len(s.Rows))-int64(len(del)))
+	st.mu.Lock()
+	st.last = resp.Inserted
+	st.mu.Unlock()
+	return nil
+}
+
+// BadRequest sends a hostile or malformed request and requires the
+// server to answer with a client error — a 4xx carrying a JSON
+// {"error": ...} body. A 5xx, a non-JSON body, or a dropped connection
+// (a crashed handler) fails the scenario. WantStatus pins the exact
+// code when nonzero.
+type BadRequest struct {
+	Server     string
+	Method     string // defaults to POST
+	Path       string // defaults to /query
+	Body       string // sent verbatim — malformed JSON is the point
+	WantStatus int
+}
+
+func (s BadRequest) Describe() string {
+	method, path := s.Method, s.Path
+	if method == "" {
+		method = http.MethodPost
+	}
+	if path == "" {
+		path = "/query"
+	}
+	body := s.Body
+	if len(body) > 40 {
+		body = body[:40] + "..."
+	}
+	return fmt.Sprintf("fuzz %s %s %q", method, path, body)
+}
+
+func (s BadRequest) Run(c *Ctx) error {
+	method, path := s.Method, s.Path
+	if method == "" {
+		method = http.MethodPost
+	}
+	if path == "" {
+		path = "/query"
+	}
+	var body []byte
+	if s.Body != "" {
+		body = []byte(s.Body)
+	}
+	status, out, err := c.do(s.Server, method, path, body)
+	if err != nil {
+		return fmt.Errorf("request died (crashed handler?): %w", err)
+	}
+	if s.WantStatus != 0 && status != s.WantStatus {
+		return fmt.Errorf("status %d, want %d (body %s)", status, s.WantStatus, out)
+	}
+	if status < 400 || status >= 500 {
+		return fmt.Errorf("status %d, want a 4xx client error (body %s)", status, out)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
+		return fmt.Errorf("status %d without a JSON error body: %s", status, out)
+	}
+	return nil
+}
+
+// Query runs a SQL statement via GET /query and asserts on the answer.
+// Cell assertions address the first row's first column — the natural
+// shape of the COUNT(*) probes scenarios use.
+type Query struct {
+	Server      string
+	SQL         string
+	WantCell    string // exact first-cell value (rendered as a string)
+	WantCellMin int64  // first cell, parsed as an integer, must be >= this
+	WantLedger  bool   // first cell must equal the server's acked row ledger
+	// WantLedgerMin relaxes WantLedger to >= — for crashes that may
+	// replay a never-acked record appended between WAL write and swap.
+	WantLedgerMin bool
+	EpochAcked    bool // the response epoch must be >= the acked epoch
+	WantErr       bool // expect a 4xx JSON error instead of rows
+}
+
+func (s Query) Describe() string { return "query " + s.SQL }
+
+func (s Query) Run(c *Ctx) error {
+	status, out, err := c.do(s.Server, http.MethodGet, "/query?sql="+url.QueryEscape(s.SQL), nil)
+	if err != nil {
+		return err
+	}
+	if s.WantErr {
+		return (BadRequest{}).check(status, out)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("status %d: %s", status, out)
+	}
+	var resp struct {
+		Rows  [][]any `json:"rows"`
+		Epoch uint64  `json:"epoch"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return fmt.Errorf("response: %w", err)
+	}
+	cell, haveCell := "", false
+	if len(resp.Rows) > 0 && len(resp.Rows[0]) > 0 {
+		cell, haveCell = cellString(resp.Rows[0][0]), true
+	}
+	if s.WantCell != "" {
+		if !haveCell {
+			return fmt.Errorf("no rows, want cell %q", s.WantCell)
+		}
+		if cell != s.WantCell {
+			return fmt.Errorf("cell %q, want %q", cell, s.WantCell)
+		}
+	}
+	if s.WantCellMin != 0 || s.WantLedger || s.WantLedgerMin {
+		if !haveCell {
+			return fmt.Errorf("no rows, want a numeric cell")
+		}
+		n, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return fmt.Errorf("cell %q is not an integer: %w", cell, err)
+		}
+		if s.WantCellMin != 0 && n < s.WantCellMin {
+			return fmt.Errorf("cell %d < min %d", n, s.WantCellMin)
+		}
+		if s.WantLedger || s.WantLedgerMin {
+			_, ledger := c.state(s.Server).snapshot()
+			if s.WantLedger && n != ledger {
+				return fmt.Errorf("cell %d != acked row ledger %d", n, ledger)
+			}
+			if s.WantLedgerMin && n < ledger {
+				return fmt.Errorf("cell %d < acked row ledger %d: acknowledged rows were lost", n, ledger)
+			}
+		}
+	}
+	if s.EpochAcked {
+		acked, _ := c.state(s.Server).snapshot()
+		if resp.Epoch < acked {
+			return fmt.Errorf("answered on epoch %d, below acked epoch %d", resp.Epoch, acked)
+		}
+	}
+	return nil
+}
+
+// check applies BadRequest's 4xx-with-JSON-error contract to an
+// already-performed response, for Query{WantErr}.
+func (BadRequest) check(status int, out []byte) error {
+	if status < 400 || status >= 500 {
+		return fmt.Errorf("status %d, want a 4xx client error (body %s)", status, out)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
+		return fmt.Errorf("status %d without a JSON error body: %s", status, out)
+	}
+	return nil
+}
+
+// cellString renders a JSON cell the way scenarios declare expectations:
+// numbers without a trailing .0, big INTs (served as strings) verbatim.
+func cellString(v any) string {
+	switch v := v.(type) {
+	case string:
+		return v
+	case float64:
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	case bool:
+		return strconv.FormatBool(v)
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Health asserts /healthz answers 200 — the "did the fuzz barrage kill
+// it" probe.
+type Health struct{ Server string }
+
+func (s Health) Describe() string { return "healthz " + orMain(s.Server) }
+
+func (s Health) Run(c *Ctx) error {
+	status, out, err := c.do(s.Server, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/healthz: status %d: %s", status, out)
+	}
+	return nil
+}
+
+// ---- assertions on /stats ----------------------------------------------
+
+// AssertEpoch asserts the served epoch from /stats. Exactly one of the
+// forms is used per row: Want (a literal), Acked (+AckedDelta), or
+// AckedMin (>= acked — for crashes that may replay a never-acked
+// record appended between WAL write and swap).
+type AssertEpoch struct {
+	Server     string
+	Want       uint64
+	Acked      bool
+	AckedDelta int64
+	AckedMin   bool
+}
+
+func (s AssertEpoch) Describe() string {
+	switch {
+	case s.Acked:
+		return fmt.Sprintf("assert epoch == acked%+d", s.AckedDelta)
+	case s.AckedMin:
+		return "assert epoch >= acked"
+	default:
+		return fmt.Sprintf("assert epoch == %d", s.Want)
+	}
+}
+
+func (s AssertEpoch) Run(c *Ctx) error {
+	v, err := c.statField(s.Server, "epoch")
+	if err != nil {
+		return err
+	}
+	epoch := uint64(v)
+	acked, _ := c.state(s.Server).snapshot()
+	switch {
+	case s.Acked:
+		want := uint64(int64(acked) + s.AckedDelta)
+		if epoch != want {
+			return fmt.Errorf("epoch %d, want exactly %d (acked %d%+d)", epoch, want, acked, s.AckedDelta)
+		}
+	case s.AckedMin:
+		if epoch < acked {
+			return fmt.Errorf("epoch %d below acked %d: acknowledged writes were lost", epoch, acked)
+		}
+	default:
+		if epoch != s.Want {
+			return fmt.Errorf("epoch %d, want %d", epoch, s.Want)
+		}
+	}
+	return nil
+}
+
+// StatsMin asserts a /stats counter is at least Min.
+type StatsMin struct {
+	Server string
+	Field  string
+	Min    int64
+}
+
+func (s StatsMin) Describe() string { return fmt.Sprintf("assert %s >= %d", s.Field, s.Min) }
+
+func (s StatsMin) Run(c *Ctx) error {
+	v, err := c.statField(s.Server, s.Field)
+	if err != nil {
+		return err
+	}
+	if int64(v) < s.Min {
+		return fmt.Errorf("%s = %d, want >= %d", s.Field, int64(v), s.Min)
+	}
+	return nil
+}
+
+// StatsEq asserts a /stats counter exactly.
+type StatsEq struct {
+	Server string
+	Field  string
+	Want   int64
+}
+
+func (s StatsEq) Describe() string { return fmt.Sprintf("assert %s == %d", s.Field, s.Want) }
+
+func (s StatsEq) Run(c *Ctx) error {
+	v, err := c.statField(s.Server, s.Field)
+	if err != nil {
+		return err
+	}
+	if int64(v) != s.Want {
+		return fmt.Errorf("%s = %d, want %d", s.Field, int64(v), s.Want)
+	}
+	return nil
+}
+
+// WaitStats polls /stats until Field reaches Min — how scenarios meet
+// background work (the periodic checkpointer) without sleeping blind.
+type WaitStats struct {
+	Server  string
+	Field   string
+	Min     int64
+	Timeout time.Duration
+}
+
+func (s WaitStats) Describe() string { return fmt.Sprintf("wait until %s >= %d", s.Field, s.Min) }
+
+func (s WaitStats) Run(c *Ctx) error {
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		v, err := c.statField(s.Server, s.Field)
+		if err != nil {
+			return err
+		}
+		if int64(v) >= s.Min {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%s still %d (< %d) after %v", s.Field, int64(v), s.Min, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// ---- on-disk damage -----------------------------------------------------
+
+// resolveOne resolves a {dir}-relative glob to exactly one file.
+func resolveOne(c *Ctx, glob string) (string, error) {
+	pattern := c.expand(glob)
+	if !filepath.IsAbs(pattern) {
+		pattern = filepath.Join(c.Dir, pattern)
+	}
+	matches, err := filepath.Glob(pattern)
+	if err != nil {
+		return "", err
+	}
+	if len(matches) != 1 {
+		return "", fmt.Errorf("glob %s matched %d files, want exactly 1: %v", pattern, len(matches), matches)
+	}
+	return matches[0], nil
+}
+
+// CorruptFile XORs one byte of a file — bit-flip damage at a declared
+// offset (negative counts from the end). The server must be stopped
+// first; the next boot meets the damage.
+type CorruptFile struct {
+	Glob   string // {dir}-relative glob; must match exactly one file
+	Offset int64  // byte offset; negative = from end
+	XOR    byte   // flip mask; 0 means 0xFF
+}
+
+func (s CorruptFile) Describe() string {
+	return fmt.Sprintf("corrupt %s at offset %d", s.Glob, s.Offset)
+}
+
+func (s CorruptFile) Run(c *Ctx) error {
+	path, err := resolveOne(c, s.Glob)
+	if err != nil {
+		return err
+	}
+	mask := s.XOR
+	if mask == 0 {
+		mask = 0xFF
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	off := s.Offset
+	if off < 0 {
+		off += fi.Size()
+	}
+	if off < 0 || off >= fi.Size() {
+		return fmt.Errorf("offset %d outside %s (%d bytes)", s.Offset, path, fi.Size())
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= mask
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	c.Logf("flipped byte %d of %s (xor %#x)", off, path, mask)
+	return f.Sync()
+}
+
+// TruncateFile cuts Trim bytes off a file's end — a torn tail, as a
+// crash mid-append would leave.
+type TruncateFile struct {
+	Glob string
+	Trim int64
+}
+
+func (s TruncateFile) Describe() string {
+	return fmt.Sprintf("truncate %s by %d bytes", s.Glob, s.Trim)
+}
+
+func (s TruncateFile) Run(c *Ctx) error {
+	path, err := resolveOne(c, s.Glob)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if s.Trim <= 0 || s.Trim > fi.Size() {
+		return fmt.Errorf("cannot trim %d bytes from %s (%d bytes)", s.Trim, path, fi.Size())
+	}
+	if err := os.Truncate(path, fi.Size()-s.Trim); err != nil {
+		return err
+	}
+	c.Logf("truncated %s to %d bytes", path, fi.Size()-s.Trim)
+	return nil
+}
+
+// Sleep pauses the script — for racing a crash into a background
+// activity window. Prefer WaitStats when a counter can be watched.
+type Sleep struct{ D time.Duration }
+
+func (s Sleep) Describe() string { return "sleep " + s.D.String() }
+
+func (s Sleep) Run(c *Ctx) error { time.Sleep(s.D); return nil }

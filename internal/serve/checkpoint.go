@@ -45,7 +45,7 @@ func (s *Server) maybeCheckpoint(gen *Generation) {
 	pinned := s.acquireGen()
 	go func() {
 		defer pinned.release()
-		_, err := s.checkpointNow(pinned, true)
+		_, err := s.checkpointNow(pinned, !s.opts.CheckpointNoTruncate)
 		s.ckptMu.Lock()
 		if err != nil {
 			s.ckptErrors++

@@ -86,6 +86,13 @@ type Options struct {
 	// — bounding log growth under large-row workloads where an epoch
 	// count alone would let the log balloon.
 	CheckpointBytes int64
+	// CheckpointNoTruncate keeps the full WAL after periodic checkpoints
+	// instead of truncating the covered prefix. Boot still prefers the
+	// newest checkpoint, but a torn or corrupt image can always fall
+	// back to a full replay — the log remains a complete history (at the
+	// cost of unbounded growth). Useful for point-in-time archives and
+	// for crash drills that corrupt checkpoints on purpose.
+	CheckpointNoTruncate bool
 }
 
 func (o Options) withDefaults() Options {
@@ -547,6 +554,32 @@ func (s *Server) ResetStats() {
 
 // PreparedLen returns the number of cached prepared statements.
 func (s *Server) PreparedLen() int { return s.prepared.len() }
+
+// Close releases the server's durability resources: it fsyncs and
+// closes the attached WAL (releasing the dir's writer lock so a
+// successor process can Open it) after waiting for an in-flight
+// background checkpoint to settle. Queries and writes must have
+// stopped first — Close is the tail of a graceful shutdown, not a way
+// to fence live traffic. Idempotent; a memory-only server closes to a
+// no-op.
+func (s *Server) Close() error {
+	// Let a mid-flight periodic checkpoint finish (or fail) before the
+	// WAL goes away: closing under it would fail its TruncatePrefix and
+	// count a spurious checkpoint error on every clean shutdown.
+	for i := 0; i < 100; i++ {
+		s.ckptMu.Lock()
+		busy := s.ckptInflight
+		s.ckptMu.Unlock()
+		if !busy {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
+}
 
 // preparedCache is a mutex-guarded LRU of analyzed statements keyed by
 // SQL fingerprint.
