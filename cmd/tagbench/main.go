@@ -54,7 +54,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|wal|recover|scenario|all")
+	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|wal|recover|proto|scenario|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
@@ -102,6 +102,7 @@ func main() {
 		{"combine", func() error { return runCombine(cfg, *quick, report) }},
 		{"wal", func() error { return runWal(cfg, *quick, report) }},
 		{"recover", func() error { return runRecover(cfg, *quick, report) }},
+		{"proto", func() error { return runProto(cfg, *quick, report) }},
 		{"scenario", func() error { return runScenario(cfg, *quick, report) }},
 	}
 	valid := map[string]bool{"all": true}
@@ -263,6 +264,22 @@ func runRecover(cfg bench.Config, quick bool, report map[string]any) error {
 		all = append(all, results...)
 	}
 	report["recover"] = all
+	return nil
+}
+
+func runProto(cfg bench.Config, quick bool, report map[string]any) error {
+	// 16 clients stays in both tiers: the binary protocol's headline
+	// claim (point-query QPS at high client counts) is measured here.
+	clients, window := []int{1, 4, 16}, 500*time.Millisecond
+	if quick {
+		window = 150 * time.Millisecond
+	}
+	results, checked, err := bench.ProtoBench(cfg, "tpch", clients, window)
+	if err != nil {
+		return err
+	}
+	bench.PrintProto(cfg.Out, "tpch", checked, results)
+	report["proto"] = map[string]any{"identity_checked": checked, "results": results}
 	return nil
 }
 

@@ -24,10 +24,22 @@
 //	POST /write  {"table": ..., "insert": [[...]], "delete": [ids]}
 //	                                     apply a batch, publish a new epoch
 //	GET  /stats                          aggregate serving statistics
+//	GET  /metrics                        Prometheus text exposition (counters,
+//	                                     admission gauges, per-protocol latency histograms)
 //	GET  /healthz                        liveness probe
 //
+// With -proto-addr, the same serving core also listens on the binary
+// query protocol (internal/proto): persistent TCP connections carrying
+// CRC-framed requests and columnar binary results, with a statement-
+// fingerprint fast path that skips SQL parsing — the low-overhead
+// surface for point-query clients. Admission control (-admit-wait,
+// -write-queue) bounds how long an over-capacity query or write may
+// wait before the server refuses it (HTTP 429 + Retry-After, binary
+// RETRY frame) instead of queueing without limit.
+//
 // Harness affordances: the listener is bound before the database loads
-// and the first stdout line is always "listening http://<addr>" — with
+// and the first stdout line is always "listening http://<addr>" (with
+// -proto-addr, "listening proto://<addr>" follows it) — with
 // -addr 127.0.0.1:0 (port 0) the kernel picks an ephemeral port and the
 // printed line is the only way to learn it, which is exactly what a
 // test harness scripting many servers wants. SIGTERM (and SIGINT)
@@ -58,6 +70,7 @@ import (
 	"time"
 
 	"repro/internal/bsp"
+	"repro/internal/proto"
 	"repro/internal/relation"
 	"repro/internal/serve"
 	"repro/internal/tag"
@@ -71,6 +84,7 @@ func main() {
 	scale := flag.Float64("scale", 1, "scale factor")
 	seed := flag.Int64("seed", 2021, "generator seed")
 	addr := flag.String("addr", ":8080", "listen address")
+	protoAddr := flag.String("proto-addr", "", "binary query protocol listen address (empty = HTTP only)")
 	sessions := flag.Int("sessions", 4, "session pool size per graph generation (max simultaneous queries on one epoch; during a write burst, in-flight totals can transiently reach live_generations x this)")
 	workers := flag.Int("workers", 1, "BSP workers per session")
 	readonly := flag.Bool("readonly", false, "disable the /write endpoint")
@@ -82,6 +96,8 @@ func main() {
 	ckptBytes := flag.Int64("checkpoint-bytes", 0, "also checkpoint after this many bytes of WAL growth (0 = no byte trigger)")
 	ckptTruncate := flag.Bool("checkpoint-truncate", true, "truncate the covered WAL prefix after each periodic checkpoint (false keeps the full log: slower boots bound by the checkpoint, but a lost image can always fall back to full replay)")
 	adaptive := flag.Bool("adaptive-combine", false, "drop a query's message combiner mid-run when folds are rare (per-run sampling)")
+	admitWait := flag.Duration("admit-wait", 100*time.Millisecond, "admission-control bound: how long a query waits for a session (a write for queue space) before refusal with 429/RETRY (negative = unbounded waits)")
+	writeQueue := flag.Int("write-queue", 256, "max writes queued or applying at once (beyond it, writes wait -admit-wait then get 429)")
 	flag.Parse()
 
 	walPolicy, err := wal.ParsePolicy(*walSync)
@@ -101,6 +117,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("listening http://%s\n", ln.Addr())
+	var protoLn net.Listener
+	if *protoAddr != "" {
+		if protoLn, err = net.Listen("tcp", *protoAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("listening proto://%s\n", protoLn.Addr())
+	}
 
 	var cat *relation.Catalog
 	switch *workload {
@@ -129,10 +153,16 @@ func main() {
 		CheckpointEvery:      *ckptEvery,
 		CheckpointBytes:      *ckptBytes,
 		CheckpointNoTruncate: !*ckptTruncate,
+		AdmitWait:            *admitWait,
+		WriteQueue:           *writeQueue,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	var ps *proto.Server
+	if protoLn != nil {
+		ps = proto.Serve(protoLn, srv)
 	}
 	mode := "serve-while-write (/write enabled)"
 	handler := serve.Handler(srv)
@@ -178,6 +208,12 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+	if ps != nil {
+		// Binary connections are persistent, so there is nothing like
+		// http.Server.Shutdown's idle-drain: close the listener and the
+		// live connections; clients see EOF and reconnect elsewhere.
+		ps.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,356 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proto"
+	"repro/internal/serve"
+	"repro/internal/tag"
+)
+
+// The binary-protocol experiment answers the serving-cost question:
+// with execution identical on both surfaces (they share one
+// serve.Server), how much of a point query's serving cost is the
+// HTTP+JSON envelope? Binary and JSON clients drive the same two
+// statements — a point lookup whose execution is microseconds (the
+// envelope dominates) and a scan returning thousands of rows (result
+// encoding dominates) — closed-loop at several client counts, over
+// persistent connections on both sides.
+
+// ProtoSurfaces in reporting order.
+var ProtoSurfaces = []string{"binary", "http"}
+
+// protoStatements maps a workload to its point and scan statements.
+var protoStatements = map[string]map[string]string{
+	"tpch": {
+		"point": "SELECT n_name, n_regionkey FROM nation WHERE n_nationkey = 7",
+		"scan":  "SELECT c_custkey, c_acctbal FROM customer WHERE c_acctbal > 9000",
+	},
+	"tpcds": {
+		"point": "SELECT w_state FROM warehouse WHERE w_warehouse_sk = 1",
+		"scan":  "SELECT c_customer_sk, c_birth_year FROM customer WHERE c_birth_year > 1980",
+	},
+}
+
+// ProtoResult is one (statement kind, client count) cell of the
+// binary-vs-JSON comparison.
+type ProtoResult struct {
+	Workload string
+	Kind     string // "point" or "scan"
+	Clients  int
+	QPS      map[string]float64       // surface -> aggregate queries/second
+	P50      map[string]time.Duration // surface -> median latency
+	P99      map[string]time.Duration // surface -> p99 latency
+}
+
+// Speedup returns QPS[binary] / QPS[http].
+func (r ProtoResult) Speedup() float64 {
+	if r.QPS["http"] <= 0 {
+		return 0
+	}
+	return r.QPS["binary"] / r.QPS["http"]
+}
+
+// ProtoBench serves one frozen TAG graph over both protocols at once
+// and measures closed-loop QPS and latency quantiles per surface at
+// each client count. Before timing anything it proves the surfaces
+// interchangeable: every workload query is executed over both and the
+// binary rows, rendered exactly as /query renders JSON cells, must be
+// byte-identical to the HTTP response rows. Returns the per-cell
+// results plus the number of identity-checked queries.
+func ProtoBench(cfg Config, workload string, clients []int, window time.Duration) ([]ProtoResult, int, error) {
+	cfg = cfg.withDefaults()
+	if window <= 0 {
+		window = 300 * time.Millisecond
+	}
+	stmts, ok := protoStatements[workload]
+	if !ok {
+		return nil, 0, fmt.Errorf("bench: no proto statements for workload %q", workload)
+	}
+	maxClients := 1
+	for _, n := range clients {
+		if n > maxClients {
+			maxClients = n
+		}
+	}
+
+	// The identity sweep runs the full query set, so it gets a bounded
+	// scale: correctness does not need the timing scale's row volume.
+	identityScale := cfg.Scales[0]
+	if identityScale > 0.05 {
+		identityScale = 0.05
+	}
+	checked, err := protoIdentityCheck(cfg, workload, identityScale)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	env, err := newProtoEnv(cfg, workload, cfg.Scales[0], maxClients)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer env.close()
+
+	var out []ProtoResult
+	for _, kind := range []string{"point", "scan"} {
+		stmt := stmts[kind]
+		// Correctness gate before timing.
+		if _, err := env.srv.Query(stmt); err != nil {
+			return nil, 0, fmt.Errorf("bench: %s statement failed: %w", kind, err)
+		}
+		for _, n := range clients {
+			res := ProtoResult{Workload: workload, Kind: kind, Clients: n,
+				QPS: map[string]float64{}, P50: map[string]time.Duration{}, P99: map[string]time.Duration{}}
+			for _, surface := range ProtoSurfaces {
+				run, cleanup, err := env.runner(surface, n, stmt)
+				if err != nil {
+					return nil, 0, err
+				}
+				count, elapsed, lats, err := protoLoop(n, window, run)
+				cleanup()
+				if err != nil {
+					return nil, 0, fmt.Errorf("bench: %s %s at %d clients: %w", surface, kind, n, err)
+				}
+				res.QPS[surface] = float64(count) / elapsed.Seconds()
+				res.P50[surface] = quantileDuration(lats, 0.50)
+				res.P99[surface] = quantileDuration(lats, 0.99)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, checked, nil
+}
+
+// protoEnv is one serve.Server exposed over live TCP on both surfaces.
+type protoEnv struct {
+	srv      *serve.Server
+	hs       *http.Server
+	ps       *proto.Server
+	httpAddr string
+	baseURL  string
+}
+
+func newProtoEnv(cfg Config, workload string, scale float64, sessions int) (*protoEnv, error) {
+	cat := generate(workload, scale, cfg.Seed)
+	g, err := tag.Build(cat, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Sessions cover the widest client count so admission control never
+	// shapes the measurement.
+	srv := serve.New(g, serve.Options{Sessions: sessions + 2})
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	protoLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		httpLn.Close()
+		return nil, err
+	}
+	env := &protoEnv{
+		srv:      srv,
+		hs:       &http.Server{Handler: serve.Handler(srv)},
+		ps:       proto.Serve(protoLn, srv),
+		httpAddr: httpLn.Addr().String(),
+	}
+	env.baseURL = "http://" + env.httpAddr
+	go env.hs.Serve(httpLn)
+	return env, nil
+}
+
+func (e *protoEnv) close() {
+	e.hs.Close()
+	e.ps.Close()
+}
+
+// runner builds the per-client query function for one surface, plus a
+// cleanup releasing its connections. Both surfaces use persistent
+// connections (one per client) and fully decode their responses — the
+// comparison is end-to-end client cost, not just server time.
+func (e *protoEnv) runner(surface string, n int, stmt string) (func(c int) error, func(), error) {
+	switch surface {
+	case "binary":
+		conns := make([]*proto.Client, n)
+		for i := range conns {
+			c, err := proto.Dial(e.ps.Addr().String())
+			if err != nil {
+				return nil, nil, err
+			}
+			conns[i] = c
+			// Prime the fingerprint cache: steady-state point serving runs
+			// on the prepared path, which is the path under test.
+			if _, err := c.Query(stmt); err != nil {
+				return nil, nil, err
+			}
+		}
+		run := func(c int) error {
+			_, err := conns[c].Query(stmt)
+			return err
+		}
+		return run, func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}, nil
+	case "http":
+		tr := &http.Transport{MaxIdleConns: n, MaxIdleConnsPerHost: n}
+		hc := &http.Client{Transport: tr}
+		u := e.baseURL + "/query?sql=" + url.QueryEscape(stmt)
+		run := func(c int) error {
+			resp, err := hc.Get(u)
+			if err != nil {
+				return err
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+			var qr serve.QueryResponse
+			return json.Unmarshal(body, &qr)
+		}
+		return run, tr.CloseIdleConnections, nil
+	}
+	return nil, nil, fmt.Errorf("bench: unknown proto surface %q", surface)
+}
+
+// protoLoop drives n clients closed-loop (client c calls run(c)
+// back-to-back) for the window, collecting per-request latencies.
+func protoLoop(n int, window time.Duration, run func(c int) error) (int64, time.Duration, []time.Duration, error) {
+	var (
+		count   int64
+		stop    int32
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	perClient := make([][]time.Duration, n)
+	start := time.Now()
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for atomic.LoadInt32(&stop) == 0 {
+				t0 := time.Now()
+				if err := run(c); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					return
+				}
+				perClient[c] = append(perClient[c], time.Since(t0))
+				atomic.AddInt64(&count, 1)
+			}
+		}(c)
+	}
+	time.Sleep(window)
+	atomic.StoreInt32(&stop, 1)
+	wg.Wait()
+	var lats []time.Duration
+	for _, l := range perClient {
+		lats = append(lats, l...)
+	}
+	return atomic.LoadInt64(&count), time.Since(start), lats, firstEr
+}
+
+// quantileDuration returns the q-quantile of samples (sorted in place).
+func quantileDuration(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	i := int(q * float64(len(samples)-1))
+	return samples[i]
+}
+
+// protoIdentityCheck runs every workload query over both surfaces of
+// one server and requires the binary rows — rendered with the same
+// JSONValue mapping /query uses — to marshal to exactly the bytes the
+// HTTP response carried, row for row. This is the interchangeability
+// proof: a client migrating to the binary protocol sees the identical
+// result set, large-int string forms and all.
+func protoIdentityCheck(cfg Config, workload string, scale float64) (int, error) {
+	env, err := newProtoEnv(cfg, workload, scale, 2)
+	if err != nil {
+		return 0, err
+	}
+	defer env.close()
+	bc, err := proto.Dial(env.ps.Addr().String())
+	if err != nil {
+		return 0, err
+	}
+	defer bc.Close()
+	hc := &http.Client{}
+
+	checked := 0
+	for _, q := range WorkloadQueries(workload) {
+		bres, err := bc.Query(q.SQL)
+		if err != nil {
+			return checked, fmt.Errorf("bench: %s over binary: %w", q.ID, err)
+		}
+		resp, err := hc.Get(env.baseURL + "/query?sql=" + url.QueryEscape(q.SQL))
+		if err != nil {
+			return checked, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return checked, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return checked, fmt.Errorf("bench: %s over http: status %d: %s", q.ID, resp.StatusCode, body)
+		}
+		var hres struct {
+			Rows []json.RawMessage `json:"rows"`
+		}
+		if err := json.Unmarshal(body, &hres); err != nil {
+			return checked, err
+		}
+		if len(hres.Rows) != bres.Rows.Len() {
+			return checked, fmt.Errorf("bench: %s: binary returned %d rows, http %d",
+				q.ID, bres.Rows.Len(), len(hres.Rows))
+		}
+		for i, tuple := range bres.Rows.Tuples {
+			cells := make([]any, len(tuple))
+			for j, v := range tuple {
+				cells[j] = serve.JSONValue(v)
+			}
+			mine, err := json.Marshal(cells)
+			if err != nil {
+				return checked, err
+			}
+			if !bytes.Equal(mine, hres.Rows[i]) {
+				return checked, fmt.Errorf("bench: %s row %d differs across protocols:\nbinary %s\nhttp   %s",
+					q.ID, i, mine, hres.Rows[i])
+			}
+		}
+		checked++
+	}
+	return checked, nil
+}
+
+// PrintProto renders the binary-vs-JSON table for one workload.
+func PrintProto(w io.Writer, workload string, checked int, results []ProtoResult) {
+	fmt.Fprintf(w, "\nBinary protocol vs HTTP JSON — closed-loop serving over one frozen %s TAG graph\n", workload)
+	fmt.Fprintf(w, "(%d workload queries verified byte-identical across protocols before timing)\n", checked)
+	fmt.Fprintf(w, "%-6s %-8s %12s %12s %9s %11s %11s %11s %11s\n",
+		"kind", "clients", "binary_qps", "http_qps", "speedup", "bin_p50", "http_p50", "bin_p99", "http_p99")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-6s %-8d %12.0f %12.0f %8.2fx %11v %11v %11v %11v\n",
+			r.Kind, r.Clients, r.QPS["binary"], r.QPS["http"], r.Speedup(),
+			r.P50["binary"].Round(time.Microsecond), r.P50["http"].Round(time.Microsecond),
+			r.P99["binary"].Round(time.Microsecond), r.P99["http"].Round(time.Microsecond))
+	}
+}

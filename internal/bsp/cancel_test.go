@@ -1,0 +1,105 @@
+package bsp
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// cancelAtStep wraps a program with a master hook that fires cancel at
+// a chosen barrier, modeling a serving-layer deadline landing mid-run.
+type cancelAtStep struct {
+	Program
+	step   int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAtStep) BeforeSuperstep(step int, eng *Engine) bool {
+	if step == c.step {
+		c.cancel()
+	}
+	return true
+}
+
+// starvedDeadlineCtx models a context whose deadline has passed but
+// whose runtime timer never fired — the GOMAXPROCS=1 failure mode where
+// a compute-bound run holds the only P, so ctx.Err() stays nil for the
+// whole deadline window. The engine must honor the wall-clock deadline
+// anyway.
+type starvedDeadlineCtx struct {
+	dl   time.Time
+	done chan struct{}
+}
+
+func (c starvedDeadlineCtx) Deadline() (time.Time, bool) { return c.dl, true }
+func (c starvedDeadlineCtx) Done() <-chan struct{}       { return c.done }
+func (c starvedDeadlineCtx) Err() error                  { return nil } // the timer is starved
+func (c starvedDeadlineCtx) Value(any) any               { return nil }
+
+// TestEngineDeadlineWithoutTimer: a context whose wall-clock deadline
+// has passed stops the run at the first barrier even though ctx.Err()
+// still answers nil — barriers compare clocks, they do not trust the
+// runtime timer that would normally mark the context done.
+func TestEngineDeadlineWithoutTimer(t *testing.T) {
+	const n = 12
+	g, lbl := chainGraph(n)
+	eng := NewEngine(g, Options{Workers: 1})
+	eng.SetContext(starvedDeadlineCtx{dl: time.Now().Add(-time.Millisecond), done: make(chan struct{})})
+	stats := eng.Run(&propagateProgram{lbl: lbl}, []VertexID{0})
+	if stats.Supersteps != 0 {
+		t.Errorf("expired-deadline run took %d supersteps, want 0", stats.Supersteps)
+	}
+	// Disarmed, the engine is clean and runs to completion.
+	eng.SetContext(nil)
+	if stats = eng.Run(&propagateProgram{lbl: lbl}, []VertexID{0}); stats.Supersteps != n {
+		t.Errorf("rerun supersteps = %d, want %d", stats.Supersteps, n)
+	}
+}
+
+// TestEngineCanceledBetweenSupersteps: an armed context stops a run at
+// the next superstep barrier — and because the previous merge drained
+// every outbox, the same engine reused afterwards (context disarmed)
+// produces the full, correct result. This is the engine half of query
+// cancellation: the serving layer releases a canceled query's pooled
+// session, so a later query MUST find its planes clean.
+func TestEngineCanceledBetweenSupersteps(t *testing.T) {
+	const n = 12
+	for _, workers := range []int{1, 4} {
+		g, lbl := chainGraph(n)
+		eng := NewEngine(g, Options{Workers: workers})
+
+		// Cancel at the barrier before superstep 5: the run must stop
+		// there, partway down the chain.
+		ctx, cancel := context.WithCancel(context.Background())
+		eng.SetContext(ctx)
+		stats := eng.Run(&cancelAtStep{Program: &propagateProgram{lbl: lbl}, step: 5, cancel: cancel}, []VertexID{0})
+		if stats.Supersteps != 5 {
+			t.Errorf("workers=%d: canceled run took %d supersteps, want 5", workers, stats.Supersteps)
+		}
+		if len(eng.Emitted()) != 0 {
+			t.Errorf("workers=%d: canceled run emitted %v, want nothing", workers, eng.Emitted())
+		}
+
+		// A context canceled before Run stops at the first barrier.
+		eng.SetContext(ctx) // already canceled
+		stats = eng.Run(&propagateProgram{lbl: lbl}, []VertexID{0})
+		if stats.Supersteps != 0 {
+			t.Errorf("workers=%d: pre-canceled run took %d supersteps, want 0", workers, stats.Supersteps)
+		}
+
+		// Disarm and rerun: the pooled message planes must be clean — the
+		// full propagation runs to the end with the exact chain counts.
+		eng.SetContext(nil)
+		stats = eng.Run(&propagateProgram{lbl: lbl}, []VertexID{0})
+		if stats.Supersteps != n {
+			t.Errorf("workers=%d: rerun supersteps = %d, want %d", workers, stats.Supersteps, n)
+		}
+		if stats.Messages != n-1 {
+			t.Errorf("workers=%d: rerun messages = %d, want %d", workers, stats.Messages, n-1)
+		}
+		out := eng.Emitted()
+		if len(out) != 1 || out[0].(int) != n-1 {
+			t.Errorf("workers=%d: rerun emitted %v, want [%d]", workers, out, n-1)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bsp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -525,6 +526,35 @@ type Engine struct {
 	// wg coordinates the compute and merge fan-outs; a field rather
 	// than a Run local so steady-state supersteps allocate nothing.
 	wg sync.WaitGroup
+
+	// work is the persistent per-Run worker pool: one job channel per
+	// worker context, spawned once at the top of Run and shut down at
+	// its end, so a superstep dispatches channel sends instead of
+	// paying two goroutine spawns per barrier (compute + merge). Nil
+	// between Runs and on single-worker engines.
+	work []chan job
+
+	// ctx, when non-nil, cancels the run between supersteps: once it is
+	// done, Run breaks out of the superstep loop at the next barrier and
+	// flows through the normal end-of-Run cleanup, so pooled engine
+	// state stays reusable. Set via SetContext by the owning session;
+	// read only by Run's goroutine (ctx.Err is itself safe against
+	// concurrent cancellation). deadline caches ctx.Deadline so barriers
+	// can compare wall clocks instead of trusting the runtime timer that
+	// marks the context done (see ctxDone).
+	ctx      context.Context
+	deadline time.Time
+}
+
+// job is one unit dispatched to the persistent worker pool: a compute
+// chunk (verts + the worker's context) or, with merge set, the
+// communication stage of one shard. Sent by value, so steady-state
+// supersteps still allocate nothing.
+type job struct {
+	verts []VertexID
+	ctx   *Context
+	shard int
+	merge bool
 }
 
 // NewEngine prepares an engine over g. Construction is cheap — O(#workers),
@@ -613,6 +643,76 @@ func (e *Engine) Emitted() []any { return e.emits }
 // MasterProgram.
 func (e *Engine) Halt() { e.halted = true }
 
+// SetContext arms (or, with nil, disarms) between-superstep
+// cancellation for subsequent Runs: once ctx is done, a run stops at
+// the next superstep barrier instead of computing to completion, and
+// Run returns through its normal cleanup with the stats accumulated so
+// far. The engine never inspects the cause — callers that need to
+// distinguish a deadline from an explicit cancel check ctx.Err()
+// themselves after Run returns. Call from the goroutine that owns the
+// engine, like Run itself.
+func (e *Engine) SetContext(ctx context.Context) {
+	e.ctx = ctx
+	e.deadline = time.Time{}
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			e.deadline = dl
+		}
+	}
+}
+
+// ctxDone reports whether the armed context calls for an abort at a
+// barrier. A context's deadline is checked against the wall clock
+// directly, not only via ctx.Err(): ctx.Err turns non-nil when a
+// runtime timer fires, and on a single-P runtime a compute-bound
+// superstep can hold the only P past the whole deadline window —
+// finishing a run that should have been cut short. The deadline is a
+// wall-clock fact; barriers honor it even when the timer is starved.
+func (e *Engine) ctxDone() bool {
+	if e.ctx == nil {
+		return false
+	}
+	if e.ctx.Err() != nil {
+		return true
+	}
+	return !e.deadline.IsZero() && time.Now().After(e.deadline)
+}
+
+// startWorkers spawns the persistent per-Run worker pool. Each worker
+// owns one job channel; compute chunk w and merge shard w are always
+// dispatched to worker w, so every Context and mergeShard keeps a
+// single-goroutine-at-a-time owner exactly as the spawn-per-barrier
+// scheme had.
+func (e *Engine) startWorkers(prog Program) {
+	e.work = make([]chan job, len(e.ctxs))
+	for w := range e.work {
+		ch := make(chan job, 1)
+		e.work[w] = ch
+		go func() {
+			for j := range ch {
+				if j.merge {
+					e.mergeShard(j.shard)
+				} else {
+					for _, v := range j.verts {
+						prog.Compute(j.ctx, v, e.inboxOf(v))
+					}
+				}
+				e.wg.Done()
+			}
+		}()
+	}
+}
+
+// stopWorkers shuts the per-Run pool down; all dispatched jobs have
+// completed (every stage ends with wg.Wait), so closing the channels
+// lets the workers drain and exit.
+func (e *Engine) stopWorkers() {
+	for _, ch := range e.work {
+		close(ch)
+	}
+	e.work = nil
+}
+
 // InboxBytes estimates the resident memory of the sparse message plane:
 // live inbox entries plus the pooled buffers kept for reuse. Compare
 // with DenseInboxBytes: the dense plane held two O(|V|) slice-header
@@ -678,11 +778,27 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 
 	master, hasMaster := prog.(MasterProgram)
 
+	// Multi-worker engines run their supersteps through a persistent
+	// worker pool spawned once here and kept alive across barriers:
+	// tiny supersteps are dominated by fan-out cost, and a channel send
+	// to a parked goroutine is far cheaper than spawning one (twice —
+	// compute and merge) per superstep.
+	if len(e.ctxs) > 1 {
+		e.startWorkers(prog)
+		defer e.stopWorkers()
+	}
+
 	for step := 0; step < e.opts.MaxSupersteps; step++ {
 		if hasMaster && !master.BeforeSuperstep(step, e) {
 			break
 		}
 		if len(active) == 0 || e.halted {
+			break
+		}
+		// Cancellation point: breaking here is clean — the previous
+		// superstep's merge fully drained every outbox, so the cleanup
+		// below leaves the pooled planes consistent for the next Run.
+		if e.ctxDone() {
 			break
 		}
 		e.stats.Supersteps++
@@ -712,12 +828,7 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 				break
 			}
 			e.wg.Add(1)
-			go func(verts []VertexID, ctx *Context) {
-				defer e.wg.Done()
-				for _, v := range verts {
-					prog.Compute(ctx, v, e.inboxOf(v))
-				}
-			}(active[lo:hi], ctx)
+			e.work[w] <- job{verts: active[lo:hi], ctx: ctx}
 		}
 		e.wg.Wait()
 
@@ -737,10 +848,7 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 		} else {
 			for s := range e.shards {
 				e.wg.Add(1)
-				go func(s int) {
-					defer e.wg.Done()
-					e.mergeShard(s)
-				}(s)
+				e.work[s] <- job{shard: s, merge: true}
 			}
 			e.wg.Wait()
 		}

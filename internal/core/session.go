@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -137,6 +138,45 @@ func (e *Session) Run(an *sql.Analysis) (*relation.Relation, error) {
 	e.decorr = map[*sql.Select]*decorrTable{}
 	e.Info = ExecInfo{Acyclic: true}
 	return e.runChain(an, an.Root, nil)
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is done
+// (deadline or explicit cancel), the session's engine stops at the
+// next superstep barrier and RunContext returns ctx's error. The
+// abort point is a barrier, never mid-superstep, so the engine's
+// pooled planes go through their normal end-of-Run cleanup and the
+// session stays safe to reuse for the next query — which is what lets
+// a serving layer return a cancelled query's session to its pool.
+//
+// The execution phases between engine runs see partial frontiers
+// after an abort; whatever they derive is discarded, and a panic they
+// raise while ctx is cancelled is converted into the cancellation
+// error (a panic with ctx still live propagates unchanged, exactly as
+// under Run). A context that can never be cancelled costs nothing:
+// RunContext then is Run.
+func (e *Session) RunContext(ctx context.Context, an *sql.Analysis) (out *relation.Relation, err error) {
+	if ctx == nil || ctx.Done() == nil {
+		return e.Run(an)
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	e.eng.SetContext(ctx)
+	defer e.eng.SetContext(nil)
+	defer func() {
+		cerr := ctx.Err()
+		if cerr == nil && hasDeadline && time.Now().After(deadline) {
+			// ctx.Err turns non-nil only when a runtime timer fires, and
+			// on a single-P runtime a compute-bound query can hold the
+			// only P past its whole deadline window. The deadline is a
+			// wall-clock fact (the engine's barriers treat it the same
+			// way); a run that finished past it is reported aborted.
+			cerr = context.DeadlineExceeded
+		}
+		if cerr != nil {
+			recover() // partial-frontier panic caused by the abort, if any
+			out, err = nil, fmt.Errorf("core: query aborted: %w", cerr)
+		}
+	}()
+	return e.Run(an)
 }
 
 func (e *Session) runChain(an *sql.Analysis, blk *sql.Analyzed, outer *sql.Env) (*relation.Relation, error) {

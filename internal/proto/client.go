@@ -1,0 +1,148 @@
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// Client is one persistent binary-protocol connection. It is strictly
+// request/response and NOT safe for concurrent use — callers wanting
+// parallelism open one Client per worker (a connection is the unit of
+// concurrency on this protocol, exactly like a pooled HTTP conn).
+//
+// The client remembers the statement fingerprint each RESULT trailer
+// carries, keyed by SQL text, and sends the fingerprint instead of the
+// SQL on every later occurrence — the server then skips lexing and
+// analysis entirely. An ErrorUnknownFP answer (server evicted the
+// statement) invalidates the cached entry and falls back to SQL
+// transparently.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	scratch []byte
+	fps     map[string]string // SQL text → fingerprint
+}
+
+// Dial connects, performs the handshake, and returns a ready Client.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, bufSize),
+		bw:   bufio.NewWriterSize(conn, bufSize),
+		fps:  make(map[string]string),
+	}
+	c.scratch = appendHello(c.scratch[:0])
+	if err := writeFrame(c.bw, c.scratch); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	payload, _, err := codec.ReadFrame(c.br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("proto: handshake: %w", err)
+	}
+	d := codec.NewDecoder(payload)
+	kind, err := d.Byte()
+	if err != nil {
+		conn.Close()
+		return nil, codec.ErrCorrupt
+	}
+	if kind == kindError {
+		e := decodeError(d)
+		conn.Close()
+		return nil, e
+	}
+	m, merr := d.Str()
+	if kind != kindHello || merr != nil || m != magic || d.Finish() != nil {
+		conn.Close()
+		return nil, fmt.Errorf("proto: handshake: not a %s server", magic)
+	}
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Query executes one SQL statement and decodes its result. Server-side
+// refusals come back as *Error or *RetryError; transport damage closes
+// the connection and surfaces the I/O or codec error.
+func (c *Client) Query(sql string) (*Result, error) {
+	return c.QueryDeadline(sql, 0)
+}
+
+// QueryDeadline is Query with a server-enforced deadline (0 = none):
+// the server aborts the query at the next superstep barrier once the
+// deadline passes and answers with an ErrorDeadline frame.
+func (c *Client) QueryDeadline(sql string, deadline time.Duration) (*Result, error) {
+	if fp, ok := c.fps[sql]; ok {
+		res, err := c.roundTrip(fp, true, deadline)
+		if pe, retry := err.(*Error); retry && pe.Code == ErrorUnknownFP {
+			delete(c.fps, sql) // evicted server-side; fall through to SQL
+		} else {
+			return res, err
+		}
+	}
+	res, err := c.roundTrip(sql, false, deadline)
+	if err == nil && res.Fingerprint != "" {
+		c.fps[sql] = res.Fingerprint
+	}
+	return res, err
+}
+
+func (c *Client) roundTrip(stmt string, fingerprint bool, deadline time.Duration) (*Result, error) {
+	c.scratch = appendQuery(c.scratch[:0], stmt, fingerprint, deadline)
+	if err := writeFrame(c.bw, c.scratch); err != nil {
+		return nil, err
+	}
+	payload, _, err := codec.ReadFrame(c.br)
+	if err != nil {
+		return nil, err
+	}
+	d := codec.NewDecoder(payload)
+	kind, err := d.Byte()
+	if err != nil {
+		return nil, codec.ErrCorrupt
+	}
+	switch kind {
+	case kindResult:
+		return decodeResult(d)
+	case kindError:
+		return nil, decodeError(d)
+	case kindRetry:
+		ms, err := d.Uvarint()
+		if err != nil {
+			return nil, codec.ErrCorrupt
+		}
+		msg, err := d.Str()
+		if err != nil || d.Finish() != nil {
+			return nil, codec.ErrCorrupt
+		}
+		return nil, &RetryError{After: time.Duration(ms) * time.Millisecond, Message: msg}
+	default:
+		return nil, fmt.Errorf("proto: unexpected frame kind %d", kind)
+	}
+}
+
+// decodeError decodes an ERROR payload after its kind byte; decode
+// damage degrades to a generic corrupt-frame Error rather than hiding
+// that the server was refusing something.
+func decodeError(d *codec.Decoder) *Error {
+	code, err := d.Str()
+	if err != nil {
+		return &Error{Code: ErrorBadFrame, Message: "undecodable error frame"}
+	}
+	msg, err := d.Str()
+	if err != nil || d.Finish() != nil {
+		return &Error{Code: code, Message: "undecodable error frame"}
+	}
+	return &Error{Code: code, Message: msg}
+}

@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/proto"
+	"repro/internal/serve"
+)
+
+// Overload drives more concurrent copies of a heavy query than the
+// server has pooled sessions, and requires admission control to refuse
+// the overflow the contractual way: a 429 carrying a Retry-After hint
+// and a JSON error body, while at least one competing query still
+// succeeds. Rounds repeat until both outcomes have been observed; a
+// 500, a dropped connection, or a 429 without the hint fails the
+// scenario immediately.
+type Overload struct {
+	Server  string
+	SQL     string
+	Clients int           // concurrent queries per round; defaults to 8
+	Timeout time.Duration // overall bound; defaults to 30s
+}
+
+func (s Overload) Describe() string {
+	clients := s.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	return fmt.Sprintf("overload: %d concurrent heavy queries, expect 200s and 429+Retry-After", clients)
+}
+
+func (s Overload) Run(c *Ctx) error {
+	clients := s.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	path := "/query?sql=" + url.QueryEscape(s.SQL)
+	type reply struct {
+		status int
+		hdr    http.Header
+		body   []byte
+		err    error
+	}
+	deadline := time.Now().Add(timeout)
+	var ok200, ok429 bool
+	for !(ok200 && ok429) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("overload evidence incomplete after %v: saw success=%v refusal=%v", timeout, ok200, ok429)
+		}
+		replies := make(chan reply, clients)
+		for i := 0; i < clients; i++ {
+			go func() {
+				status, hdr, body, err := c.do(s.Server, http.MethodGet, path, nil)
+				replies <- reply{status, hdr, body, err}
+			}()
+		}
+		for i := 0; i < clients; i++ {
+			r := <-replies
+			if r.err != nil {
+				return fmt.Errorf("request died under overload (crashed handler?): %w", r.err)
+			}
+			switch r.status {
+			case http.StatusOK:
+				ok200 = true
+			case http.StatusTooManyRequests:
+				after := r.hdr.Get("Retry-After")
+				if n, err := strconv.Atoi(after); err != nil || n < 1 {
+					return fmt.Errorf("429 carried Retry-After %q, want an integer >= 1", after)
+				}
+				if err := (BadRequest{}).check(r.status, r.body); err != nil {
+					return err
+				}
+				ok429 = true
+			default:
+				return fmt.Errorf("status %d under overload, want 200 or 429 (body %s)", r.status, r.body)
+			}
+		}
+	}
+	return nil
+}
+
+// ProtoFuzz throws hostile byte sequences at the binary-protocol
+// listener — wrong magic, an absurd length prefix, a flipped CRC bit, a
+// frame truncated mid-payload — each on its own connection. The
+// contract under fire: the server answers with a typed error frame or
+// just closes the connection; it never crashes and never leaves a
+// connection wedged. Afterwards an honest binary client must still get
+// a correct answer, the proof the listener survived the barrage.
+type ProtoFuzz struct {
+	Server   string
+	SQL      string // honest-client probe run after the barrage
+	WantCell string // expected first cell of the probe's first row
+}
+
+func (s ProtoFuzz) Describe() string { return "proto fuzz barrage on " + orMain(s.Server) }
+
+func (s ProtoFuzz) Run(c *Ctx) error {
+	p, err := c.proc(s.Server)
+	if err != nil {
+		return err
+	}
+	addr := p.proto()
+	if addr == "" {
+		return fmt.Errorf("%s: no proto:// address announced (started without -proto-addr?)", p.name)
+	}
+
+	// The kind bytes (1=HELLO, 2=QUERY) and magic mirror the wire
+	// constants in internal/proto. Drift would only soften the fuzz —
+	// the honest-client probe below catches a genuinely broken wire.
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := codec.WriteFrame(&buf, payload); err != nil {
+			panic(err) // bytes.Buffer writes cannot fail
+		}
+		return buf.Bytes()
+	}
+	hello := frame(append([]byte{1}, codec.AppendString(nil, "TAGP1")...))
+	badMagic := frame(append([]byte{1}, codec.AppendString(nil, "HTTP9")...))
+	crcFlip := append([]byte(nil), hello...)
+	crcFlip[len(crcFlip)-1] ^= 0xFF // damage the payload under an already-written CRC
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"http-speaker", []byte("GET /query HTTP/1.1\r\nHost: fuzz\r\n\r\n")},
+		{"bad-magic-hello", badMagic},
+		{"oversized-length", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xDE, 0xAD, 0xBE, 0xEF}},
+		{"zero-length-frame", []byte{0, 0, 0, 0, 0, 0, 0, 0}}, // the codec forbids empty payloads; hand-rolled header
+		{"crc-flip", crcFlip},
+		{"truncated-mid-frame", hello[:len(hello)-3]},
+		{"query-before-hello", frame([]byte{2, 0})},
+		{"garbage-kind-after-hello", append(append([]byte(nil), hello...), frame([]byte{0x7F, 0xEE})...)},
+		{"truncated-query-after-hello", append(append([]byte(nil), hello...), frame([]byte{2})...)},
+	}
+	for _, tc := range cases {
+		if err := throwHostile(addr, tc.payload); err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
+		if !p.alive() {
+			return fmt.Errorf("%s: server died on hostile frame %s (stderr %q)", p.name, tc.name, p.stderr.String())
+		}
+	}
+
+	cl, err := proto.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("honest client after barrage: %w", err)
+	}
+	defer cl.Close()
+	res, err := cl.Query(s.SQL)
+	if err != nil {
+		return fmt.Errorf("honest query after barrage: %w", err)
+	}
+	if len(res.Rows.Tuples) == 0 || len(res.Rows.Tuples[0]) == 0 {
+		return fmt.Errorf("honest query after barrage returned no rows")
+	}
+	if s.WantCell != "" {
+		cell := cellString(serve.JSONValue(res.Rows.Tuples[0][0]))
+		if cell != s.WantCell {
+			return fmt.Errorf("honest query after barrage: cell %q, want %q", cell, s.WantCell)
+		}
+	}
+	return nil
+}
+
+// throwHostile writes one hostile payload on a fresh connection, half-
+// closes it (a truncated frame is a peer that stopped sending), and
+// requires the server to end the conversation — an error frame, EOF, or
+// a reset all pass; only a hang fails.
+func throwHostile(addr string, payload []byte) error {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if _, err := conn.Write(payload); err != nil {
+		return nil // the server already slammed the door — that is a pass
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	if _, err := io.ReadAll(conn); err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return fmt.Errorf("server neither answered nor closed the connection within 10s")
+		}
+		return nil // a reset is as good as a close
+	}
+	return nil
+}

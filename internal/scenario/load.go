@@ -211,7 +211,7 @@ func (s Load) postWrite(c *Ctx, name string, lr *loadRun, payload map[string]any
 		lr.fail(err)
 		return nil, false
 	}
-	status, out, err := c.do(name, http.MethodPost, "/write", body)
+	status, _, out, err := c.do(name, http.MethodPost, "/write", body)
 	if err != nil {
 		if s.TolerateCrash {
 			return nil, false // the crash the scenario is about
@@ -245,7 +245,7 @@ func (s Load) readerLoop(c *Ctx, name string, lr *loadRun, worker int, deadline 
 			return
 		default:
 		}
-		status, out, err := c.do(name, http.MethodGet, path, nil)
+		status, _, out, err := c.do(name, http.MethodGet, path, nil)
 		if err != nil {
 			if s.TolerateCrash {
 				return

@@ -3,6 +3,8 @@ package scenario
 import (
 	"fmt"
 	"time"
+
+	tpchwl "repro/internal/tpch"
 )
 
 // Matrix is the declared scenario table. Every row is data: a name, a
@@ -10,6 +12,19 @@ import (
 // new feature means appending a row here, not writing runner code.
 // Quick rows are the CI smoke matrix; Full adds soak-length variants.
 func Matrix() []Scenario {
+	// heavySQL is a query slow enough (a six-way join with aggregation;
+	// ~5ms at the quick-tier scale, the slowest of the 22) that a 1ms
+	// deadline reliably fires mid-run and a single session stays busy
+	// long past a small -admit-wait. TPC-H Q9, verbatim from the
+	// workload, so the scenario exercises a statement the planner
+	// actually serves.
+	var heavySQL string
+	for _, q := range tpchwl.Queries() {
+		if q.ID == "q9" {
+			heavySQL = q.SQL
+		}
+	}
+
 	countMarker := fmt.Sprintf("SELECT COUNT(*) FROM nation WHERE n_comment = '%s'", Marker)
 	countMarkerDS := fmt.Sprintf("SELECT COUNT(*) FROM warehouse WHERE w_state = '%s'", Marker)
 	selectBig := fmt.Sprintf("SELECT n_nationkey FROM nation WHERE n_comment = '%s'", Marker)
@@ -305,6 +320,50 @@ func Matrix() []Scenario {
 				StatsEq{Server: "tpcds", Field: "errors", Want: 0},
 				Health{Server: "tpch"},
 				Health{Server: "tpcds"},
+			},
+		},
+		{
+			Name: "proto-fuzz-barrage",
+			Tier: Quick,
+			Doc:  "hostile binary frames (bad magic, huge length, CRC flip, truncation): typed error or close, never a crash",
+			Steps: []Step{
+				Start{Flags: tpch("-proto-addr", "127.0.0.1:0")},
+				ProtoFuzz{SQL: "SELECT COUNT(*) FROM nation", WantCell: "25"},
+				Health{},
+				Query{SQL: "SELECT COUNT(*) FROM nation", WantCell: "25"}, // HTTP surface also unharmed
+			},
+		},
+		{
+			Name: "pool-exhaustion-429",
+			Tier: Quick,
+			Doc:  "queries beyond the session pool past -admit-wait get 429 + Retry-After; service recovers untouched",
+			Steps: []Step{
+				// Scale 0.2, not the usual quick-tier 0.05: the heavy query must
+				// hold the one session longer than the Go async-preemption
+				// quantum (~10ms), or on a single-CPU host the handlers simply
+				// serialize — each reaches admission only after the previous
+				// query released the session, and nobody ever waits long enough
+				// to be refused. q9 runs ~13ms at 0.2 vs ~5ms at 0.05.
+				Start{Flags: []string{"-db", "tpch", "-scale", "0.2", "-seed", "7", "-addr", "127.0.0.1:0",
+					"-sessions", "1", "-admit-wait", "5ms"}},
+				Overload{SQL: heavySQL, Clients: 8},
+				StatsMin{Field: "rejected", Min: 1},
+				StatsEq{Field: "in_flight", Want: 0}, // every refusal and every success released its slot
+				Query{SQL: "SELECT COUNT(*) FROM nation", WantCell: "25"},
+				Health{},
+			},
+		},
+		{
+			Name: "deadline-408-no-leak",
+			Tier: Quick,
+			Doc:  "a 1ms deadline aborts a heavy query with 408; no in-flight session leaks and the pool keeps serving",
+			Steps: []Step{
+				Start{Flags: tpch()},
+				Query{SQL: heavySQL, DeadlineMS: 1, WantTimeout: true},
+				StatsMin{Field: "canceled", Min: 1},
+				StatsEq{Field: "in_flight", Want: 0},
+				Query{SQL: "SELECT COUNT(*) FROM nation", WantCell: "25"}, // the timed-out session is clean and reusable
+				Health{},
 			},
 		},
 		{

@@ -27,6 +27,9 @@ type proc struct {
 	stdout *tailBuffer
 	stderr *tailBuffer
 
+	protoMu   sync.Mutex
+	protoAddr string // binary-protocol host:port, when announced
+
 	done    chan struct{} // closed once Wait has returned
 	waitErr error         // cmd.Wait's result, valid after done
 }
@@ -59,8 +62,13 @@ func (t *tailBuffer) String() string {
 
 // listeningPrefix is the contract with tagserve: its first stdout line
 // is "listening http://<addr>", the harness's only way to learn an
-// ephemeral (-addr :0) port.
-const listeningPrefix = "listening http://"
+// ephemeral (-addr :0) port. With -proto-addr a "listening proto://"
+// line follows; both print before the data load, so the proto address
+// is known well before the server passes /healthz.
+const (
+	listeningPrefix = "listening http://"
+	protoPrefix     = "listening proto://"
+)
 
 // spawn launches binary with flags, wiring stdout through the
 // listening-line scanner and both streams into tail buffers. The
@@ -96,6 +104,11 @@ func spawn(name, binary string, flags []string) (*proc, <-chan string, error) {
 		for sc.Scan() {
 			line := sc.Text()
 			p.stdout.Write([]byte(line + "\n"))
+			if strings.HasPrefix(line, protoPrefix) {
+				p.protoMu.Lock()
+				p.protoAddr = normalizeHost(strings.TrimSpace(strings.TrimPrefix(line, protoPrefix)))
+				p.protoMu.Unlock()
+			}
 			if first {
 				first = false
 				if strings.HasPrefix(line, listeningPrefix) {
@@ -208,6 +221,14 @@ func (p *proc) waitHealthy(client *http.Client, timeout time.Duration) error {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+}
+
+// proto returns the binary-protocol address the process announced, or
+// "" when it was started without -proto-addr.
+func (p *proc) proto() string {
+	p.protoMu.Lock()
+	defer p.protoMu.Unlock()
+	return p.protoAddr
 }
 
 // alive reports whether the process has not yet been waited on.

@@ -123,12 +123,12 @@ func (c *Ctx) state(name string) *serverState {
 	return st
 }
 
-// do issues one HTTP request to a named server and returns the status
-// and body.
-func (c *Ctx) do(server, method, path string, body []byte) (int, []byte, error) {
+// do issues one HTTP request to a named server and returns the status,
+// response headers (steps assert on Retry-After), and body.
+func (c *Ctx) do(server, method, path string, body []byte) (int, http.Header, []byte, error) {
 	p, err := c.proc(server)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	var rd io.Reader
 	if body != nil {
@@ -136,27 +136,27 @@ func (c *Ctx) do(server, method, path string, body []byte) (int, []byte, error) 
 	}
 	req, err := http.NewRequest(method, p.addr+path, rd)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.Client.Do(req)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer resp.Body.Close()
 	out, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return resp.StatusCode, nil, err
+		return resp.StatusCode, resp.Header, nil, err
 	}
-	return resp.StatusCode, out, nil
+	return resp.StatusCode, resp.Header, out, nil
 }
 
 // stats fetches /stats as a name → number map, so assertion steps can
 // address any counter by its JSON name without a schema dependency.
 func (c *Ctx) stats(server string) (map[string]float64, error) {
-	status, body, err := c.do(server, http.MethodGet, "/stats", nil)
+	status, _, body, err := c.do(server, http.MethodGet, "/stats", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -197,7 +197,7 @@ func (s Write) Run(c *Ctx) error {
 	if err != nil {
 		return err
 	}
-	status, out, err := c.do(s.Server, http.MethodPost, "/write", body)
+	status, _, out, err := c.do(s.Server, http.MethodPost, "/write", body)
 	if err != nil {
 		return err
 	}
@@ -258,7 +258,7 @@ func (s BadRequest) Run(c *Ctx) error {
 	if s.Body != "" {
 		body = []byte(s.Body)
 	}
-	status, out, err := c.do(s.Server, method, path, body)
+	status, _, out, err := c.do(s.Server, method, path, body)
 	if err != nil {
 		return fmt.Errorf("request died (crashed handler?): %w", err)
 	}
@@ -291,14 +291,33 @@ type Query struct {
 	WantLedgerMin bool
 	EpochAcked    bool // the response epoch must be >= the acked epoch
 	WantErr       bool // expect a 4xx JSON error instead of rows
+	DeadlineMS    int  // per-query deadline sent as deadline_ms (0 = none)
+	// WantTimeout expects the deadline to fire: a 408 with a JSON error
+	// body, the overload-survivability contract for deadlined queries.
+	WantTimeout bool
 }
 
-func (s Query) Describe() string { return "query " + s.SQL }
+func (s Query) Describe() string {
+	if s.WantTimeout {
+		return fmt.Sprintf("query (deadline %dms, expect 408) %s", s.DeadlineMS, s.SQL)
+	}
+	return "query " + s.SQL
+}
 
 func (s Query) Run(c *Ctx) error {
-	status, out, err := c.do(s.Server, http.MethodGet, "/query?sql="+url.QueryEscape(s.SQL), nil)
+	path := "/query?sql=" + url.QueryEscape(s.SQL)
+	if s.DeadlineMS > 0 {
+		path += "&deadline_ms=" + strconv.Itoa(s.DeadlineMS)
+	}
+	status, _, out, err := c.do(s.Server, http.MethodGet, path, nil)
 	if err != nil {
 		return err
+	}
+	if s.WantTimeout {
+		if status != http.StatusRequestTimeout {
+			return fmt.Errorf("status %d, want 408 (deadline %dms did not fire; body %s)", status, s.DeadlineMS, out)
+		}
+		return (BadRequest{}).check(status, out)
 	}
 	if s.WantErr {
 		return (BadRequest{}).check(status, out)
@@ -394,7 +413,7 @@ type Health struct{ Server string }
 func (s Health) Describe() string { return "healthz " + orMain(s.Server) }
 
 func (s Health) Run(c *Ctx) error {
-	status, out, err := c.do(s.Server, http.MethodGet, "/healthz", nil)
+	status, _, out, err := c.do(s.Server, http.MethodGet, "/healthz", nil)
 	if err != nil {
 		return err
 	}

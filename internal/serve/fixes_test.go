@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -28,7 +29,7 @@ func TestPanickingQueryLeavesCleanStats(t *testing.T) {
 	srv := New(g, Options{Sessions: 2})
 
 	orig := runSession
-	runSession = func(sess *core.Session, an *sql.Analysis) (*relation.Relation, error) {
+	runSession = func(sess *core.Session, ctx context.Context, an *sql.Analysis) (*relation.Relation, error) {
 		panic("injected query panic")
 	}
 	defer func() { runSession = orig }()
@@ -237,8 +238,8 @@ func TestJSONLargeInts(t *testing.T) {
 		{relation.Int(1 << 60), "1152921504606846976"},
 	}
 	for _, c := range cases {
-		if got := jsonValue(c.in); got != c.want {
-			t.Errorf("jsonValue(%v) = %v (%T), want %v (%T)", c.in, got, got, c.want, c.want)
+		if got := JSONValue(c.in); got != c.want {
+			t.Errorf("JSONValue(%v) = %v (%T), want %v (%T)", c.in, got, got, c.want, c.want)
 		}
 	}
 
@@ -246,7 +247,7 @@ func TestJSONLargeInts(t *testing.T) {
 	schema := relation.MustSchema(relation.Col("k", relation.KindInt))
 	row, err := decodeRow(schema, []any{"9007199254740993"})
 	if err != nil {
-		t.Fatalf("decodeRow rejected the string form jsonValue emits: %v", err)
+		t.Fatalf("decodeRow rejected the string form JSONValue emits: %v", err)
 	}
 	if row[0] != relation.Int(exact+1) {
 		t.Errorf("round-tripped value = %v, want %d", row[0], exact+1)

@@ -71,6 +71,11 @@ func (g *Generation) release() {
 // as one while the generation is current). For observability and tests.
 func (g *Generation) Refs() int64 { return g.refs.Load() }
 
+// Pool returns the generation's session pool. Callers may Acquire from
+// it directly to prewarm sessions or to hold them (overload drills);
+// anything acquired must be Released back.
+func (g *Generation) Pool() *Pool { return g.pool }
+
 // Drained returns a channel that closes once the generation has been
 // swapped out and every query pinned to it has finished. After that no
 // reader can observe the generation's graph, so its memory is

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -14,10 +16,14 @@ import (
 	"repro/internal/relation"
 )
 
-// QueryRequest is the /query request body (POST) — GET requests pass the
-// same field as the "sql" URL parameter instead.
+// QueryRequest is the /query request body (POST) — GET requests pass
+// the same fields as the "sql" and "deadline_ms" URL parameters
+// instead. DeadlineMS, when positive, bounds the query's execution:
+// past it the query aborts at the next superstep barrier and the
+// request fails with 408.
 type QueryRequest struct {
-	SQL string `json:"sql"`
+	SQL        string  `json:"sql"`
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
 }
 
 // QueryResponse is the /query response body.
@@ -66,6 +72,10 @@ type WriteResponse struct {
 type StatsResponse struct {
 	Queries         int64   `json:"queries"`
 	Errors          int64   `json:"errors"`
+	Canceled        int64   `json:"canceled"`
+	Rejected        int64   `json:"rejected"`
+	WriteRejected   int64   `json:"write_rejected"`
+	WriteQueueDepth int64   `json:"write_queue_depth"`
 	InFlight        int64   `json:"in_flight"`
 	PreparedHits    int64   `json:"prepared_hits"`
 	PreparedMisses  int64   `json:"prepared_misses"`
@@ -149,6 +159,11 @@ func handler(s *Server, readOnly bool) http.Handler {
 		}
 		res, err := maint.Apply(op)
 		if err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				w.Header().Set("Retry-After", retryAfterSeconds(s.opts.AdmitWait))
+				writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+				return
+			}
 			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
 			return
 		}
@@ -165,6 +180,15 @@ func handler(s *Server, readOnly bool) http.Handler {
 			return
 		}
 		query := r.URL.Query().Get("sql")
+		deadlineMS := 0.0
+		if v := r.URL.Query().Get("deadline_ms"); v != "" {
+			d, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad deadline_ms: " + err.Error()})
+				return
+			}
+			deadlineMS = d
+		}
 		if r.Method == http.MethodPost {
 			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 			if err != nil {
@@ -177,17 +201,37 @@ func handler(s *Server, readOnly bool) http.Handler {
 				return
 			}
 			query = req.SQL
+			if req.DeadlineMS > 0 {
+				deadlineMS = req.DeadlineMS
+			}
 		}
 		if query == "" {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing sql"})
 			return
 		}
-		res, err := s.Query(query)
+		// The request context carries client disconnects; a per-query
+		// deadline layers on top. Either way a done context aborts the
+		// query at the next superstep barrier and frees its session.
+		ctx := r.Context()
+		if deadlineMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(deadlineMS*float64(time.Millisecond)))
+			defer cancel()
+		}
+		res, err := s.QueryContext(ctx, query)
 		if err != nil {
-			writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+			writeQueryError(w, s, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, toQueryResponse(res))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.WriteMetrics(w)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
@@ -201,6 +245,10 @@ func handler(s *Server, readOnly bool) http.Handler {
 		writeJSON(w, http.StatusOK, StatsResponse{
 			Queries:          st.Queries,
 			Errors:           st.Errors,
+			Canceled:         st.Canceled,
+			Rejected:         st.Rejected,
+			WriteRejected:    st.WriteRejected,
+			WriteQueueDepth:  st.WriteQueueDepth,
 			InFlight:         st.InFlight,
 			PreparedHits:     st.PreparedHits,
 			PreparedMisses:   st.PreparedMisses,
@@ -241,6 +289,35 @@ func handler(s *Server, readOnly bool) http.Handler {
 	return mux
 }
 
+// writeQueryError maps a query failure to its HTTP shape: admission
+// refusals become 429 with a Retry-After header (the client may safely
+// retry after the hinted backoff — the query never started), deadline
+// and cancellation aborts become 408, and everything else stays the
+// 422 the JSON API has always served for bad statements.
+func writeQueryError(w http.ResponseWriter, s *Server, err error) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.opts.AdmitWait))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+	}
+}
+
+// retryAfterSeconds renders the Retry-After hint: at least one second
+// (the header's granularity), rounded up from the admission wait —
+// once that wait expired full, the pool was saturated for its whole
+// span, so anything shorter would invite an immediate second refusal.
+func retryAfterSeconds(wait time.Duration) string {
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // allowMethods enforces an endpoint's method set: an unsupported method
 // gets 405 with an Allow header per RFC 9110 and the handler stops.
 func allowMethods(w http.ResponseWriter, r *http.Request, methods ...string) bool {
@@ -273,7 +350,7 @@ func toQueryResponse(res *Result) QueryResponse {
 	for _, t := range res.Rows.Tuples {
 		row := make([]any, len(t))
 		for i, v := range t {
-			row[i] = jsonValue(v)
+			row[i] = JSONValue(v)
 		}
 		out.Rows = append(out.Rows, row)
 	}
@@ -378,11 +455,12 @@ func decodeRow(schema *relation.Schema, raw []any) (relation.Tuple, error) {
 // JSON client decodes exactly (2^53).
 const maxExactJSONInt = int64(1) << 53
 
-// jsonValue maps a relation.Value to its natural JSON representation.
+// JSONValue maps a relation.Value to its natural JSON representation.
 // INT cells beyond ±2^53 are rendered as decimal strings: most JSON
 // clients decode numbers into float64, which would silently round them
-// (see the QueryResponse doc).
-func jsonValue(v relation.Value) any {
+// (see the QueryResponse doc). Exported so cross-protocol identity
+// checks can render binary-protocol rows exactly as /query would.
+func JSONValue(v relation.Value) any {
 	switch v.Kind {
 	case relation.KindNull:
 		return nil

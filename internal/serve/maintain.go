@@ -83,6 +83,31 @@ func (m *Maintainer) Apply(op WriteOp) (*WriteResult, error) {
 	}
 
 	s := m.s
+	// Admission control: a write occupies a queue slot from here until
+	// its result is final. When the queue stays full for the whole
+	// bounded wait the write is refused with ErrOverloaded — the same
+	// refusal discipline as the query path's session admission — so a
+	// write burst backs pressure up to the clients instead of queueing
+	// without limit. Boot-time replay bypasses Apply (applyBatch
+	// directly) and is never admission-limited.
+	if s.writeSlots != nil {
+		select {
+		case s.writeSlots <- struct{}{}:
+		default:
+			timer := time.NewTimer(s.opts.AdmitWait)
+			select {
+			case s.writeSlots <- struct{}{}:
+				timer.Stop()
+			case <-timer.C:
+				s.statsMu.Lock()
+				s.stats.WriteRejected++
+				s.statsMu.Unlock()
+				return nil, fmt.Errorf("serve: write queue full: %w", ErrOverloaded)
+			}
+		}
+		defer func() { <-s.writeSlots }()
+	}
+
 	qw := &queuedWrite{op: op, done: make(chan struct{})}
 	s.queueMu.Lock()
 	s.writeQ = append(s.writeQ, qw)

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the serving layer's observability surface: lock-free
+// log-spaced latency histograms (one per protocol) and the Prometheus
+// text exposition served on /metrics. No external client library is
+// used — the text format is a stable, trivially-rendered contract, and
+// the repo's only histogram consumer is a scrape endpoint plus the
+// bench harness's quantile summaries.
+
+// latBuckets are the histogram upper bounds in seconds, log-spaced
+// 1-2.5-5 per decade from 100µs to 10s — wide enough for a point query
+// on a warm session (tens of µs land in the first bucket) and a cold
+// SF-scale join alike. Observations beyond the last bound land in the
+// implicit +Inf bucket.
+var latBuckets = [numLatBuckets]float64{
+	0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10,
+}
+
+const numLatBuckets = 16
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe with no locks: one atomic counter per bucket plus an atomic
+// sum. Bucket counts are non-cumulative internally; the Prometheus
+// rendering accumulates them into the le-cumulative form the format
+// requires.
+type Histogram struct {
+	counts [len(latBuckets) + 1]atomic.Int64 // last slot = +Inf
+	sumNs  atomic.Int64
+}
+
+// NewHistogram returns an empty latency histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one query latency.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latBuckets) && s > latBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds from the
+// bucket counts: the returned value is the upper bound of the bucket
+// the quantile falls in (the standard conservative histogram
+// estimate), with linear interpolation inside the bucket. Returns 0
+// with no observations; observations beyond the last bound report the
+// last bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			seen += c
+			continue
+		}
+		if float64(seen+c) >= rank {
+			if i >= len(latBuckets) {
+				return latBuckets[len(latBuckets)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = latBuckets[i-1]
+			}
+			frac := (rank - float64(seen)) / float64(c)
+			return lo + (latBuckets[i]-lo)*frac
+		}
+		seen += c
+	}
+	return latBuckets[len(latBuckets)-1]
+}
+
+// WriteMetrics renders the server's serving statistics in the
+// Prometheus text exposition format (version 0.0.4): counters mirrored
+// from Stats, admission/queue gauges, and the per-protocol query
+// latency histograms with precomputed p50/p99/p999 quantile gauges.
+func (s *Server) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("tagserve_queries_total", "Queries completed successfully.", st.Queries)
+	counter("tagserve_query_errors_total", "Queries that failed (parse, analyze, or execution).", st.Errors)
+	counter("tagserve_queries_canceled_total", "Queries aborted by deadline or client cancellation.", st.Canceled)
+	counter("tagserve_admission_rejected_total", "Queries refused by admission control (session pool exhausted past the bounded wait).", st.Rejected)
+	counter("tagserve_write_rejected_total", "Writes refused by admission control (write queue full past the bounded wait).", st.WriteRejected)
+	counter("tagserve_prepared_hits_total", "Queries served from the prepared-statement cache.", st.PreparedHits)
+	counter("tagserve_prepared_misses_total", "Queries analyzed afresh.", st.PreparedMisses)
+	counter("tagserve_generation_swaps_total", "Graph generations published since startup.", st.Swaps)
+	counter("tagserve_write_ops_total", "Write ops applied through the Maintainer.", st.WriteOps)
+	counter("tagserve_rows_inserted_total", "Rows inserted through the Maintainer.", st.RowsInserted)
+	counter("tagserve_rows_deleted_total", "Rows deleted through the Maintainer.", st.RowsDeleted)
+	counter("tagserve_wal_records_total", "WAL records appended since boot.", st.WALRecords)
+	counter("tagserve_wal_bytes_total", "WAL bytes appended since boot.", st.WALBytes)
+	counter("tagserve_wal_fsyncs_total", "Fsyncs issued by the WAL sync policy.", st.WALFsyncs)
+	counter("tagserve_checkpoints_total", "Checkpoints written since boot.", st.Checkpoints)
+	counter("tagserve_bsp_messages_total", "BSP messages sent by all queries (the paper's M).", st.Cost.Messages)
+	counter("tagserve_bsp_supersteps_total", "BSP supersteps run by all queries.", int64(st.Cost.Supersteps))
+
+	gauge("tagserve_sessions_in_flight", "Queries currently executing.", st.InFlight)
+	gauge("tagserve_write_queue_depth", "Writes queued or applying.", st.WriteQueueDepth)
+	gauge("tagserve_generations_live", "Published but not yet drained graph generations.", st.GenerationsLive)
+	gauge("tagserve_epoch", "Epoch of the currently served generation.", int64(st.Epoch))
+	gauge("tagserve_prepared_statements", "Cached prepared statements.", int64(s.PreparedLen()))
+
+	// Per-protocol latency histograms, in the le-cumulative bucket form,
+	// plus summary-style quantile gauges so p50/p99/p999 are readable
+	// without a PromQL evaluator.
+	const hname = "tagserve_query_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Query latency by serving protocol.\n# TYPE %s histogram\n", hname, hname)
+	for _, proto := range []string{ProtoHTTP, ProtoBinary} {
+		h := s.lat[proto]
+		var cum int64
+		for i, le := range latBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{protocol=%q,le=%q} %d\n", hname, proto, trimFloat(le), cum)
+		}
+		cum += h.counts[len(latBuckets)].Load()
+		fmt.Fprintf(w, "%s_bucket{protocol=%q,le=\"+Inf\"} %d\n", hname, proto, cum)
+		fmt.Fprintf(w, "%s_sum{protocol=%q} %g\n", hname, proto, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{protocol=%q} %d\n", hname, proto, cum)
+	}
+	const qname = "tagserve_query_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Query latency quantiles by serving protocol (histogram-estimated).\n# TYPE %s gauge\n", qname, qname)
+	for _, proto := range []string{ProtoHTTP, ProtoBinary} {
+		h := s.lat[proto]
+		for _, q := range []struct {
+			label string
+			q     float64
+		}{{"0.5", 0.5}, {"0.99", 0.99}, {"0.999", 0.999}} {
+			fmt.Fprintf(w, "%s{protocol=%q,quantile=%q} %g\n", qname, proto, q.label, h.Quantile(q.q))
+		}
+	}
+}
+
+// trimFloat renders a bucket bound the way Prometheus clients expect
+// (no exponent for these magnitudes, no trailing zeros).
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

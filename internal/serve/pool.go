@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bsp"
 	"repro/internal/core"
@@ -55,6 +57,55 @@ func (p *Pool) Acquire() *core.Session {
 	case <-p.slots:
 		p.created.Add(1)
 		return core.NewSession(p.g, p.engine)
+	}
+}
+
+// AcquireContext is Acquire with admission control: a session that is
+// idle (or buildable within the bound) returns immediately; otherwise
+// the caller waits at most wait for one to free and is then refused
+// with ErrOverloaded — the bounded-wait-then-refuse discipline that
+// keeps an overloaded server's queue from growing without limit. A
+// ctx cancelled while waiting returns ctx.Err() instead (the caller
+// gave up; that is a cancellation, not an overload). A negative wait
+// disables the bound: the caller blocks until a session frees or ctx
+// is done.
+func (p *Pool) AcquireContext(ctx context.Context, wait time.Duration) (*core.Session, error) {
+	select {
+	case s := <-p.free:
+		return s, nil
+	default:
+	}
+	select {
+	case s := <-p.free:
+		return s, nil
+	case <-p.slots:
+		p.created.Add(1)
+		return core.NewSession(p.g, p.engine), nil
+	default:
+	}
+	if wait < 0 {
+		select {
+		case s := <-p.free:
+			return s, nil
+		case <-p.slots:
+			p.created.Add(1)
+			return core.NewSession(p.g, p.engine), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case s := <-p.free:
+		return s, nil
+	case <-p.slots:
+		p.created.Add(1)
+		return core.NewSession(p.g, p.engine), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		return nil, ErrOverloaded
 	}
 }
 

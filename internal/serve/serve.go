@@ -19,6 +19,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -93,6 +94,19 @@ type Options struct {
 	// cost of unbounded growth). Useful for point-in-time archives and
 	// for crash drills that corrupt checkpoints on purpose.
 	CheckpointNoTruncate bool
+
+	// AdmitWait is the admission-control bound: how long a query waits
+	// for a pooled session — and a write for queue space — before the
+	// server refuses it with ErrOverloaded instead of queueing
+	// unboundedly (HTTP maps the refusal to 429 + Retry-After, the
+	// binary protocol to a RETRY frame). Defaults to 100ms; negative
+	// disables admission control and restores unbounded waits.
+	AdmitWait time.Duration
+	// WriteQueue bounds how many writes may be queued or applying at
+	// once; writes beyond it wait AdmitWait for space and are then
+	// refused with ErrOverloaded. Defaults to 256. Ignored when
+	// AdmitWait is negative.
+	WriteQueue int
 }
 
 func (o Options) withDefaults() Options {
@@ -108,13 +122,36 @@ func (o Options) withDefaults() Options {
 	if o.WALSyncInterval <= 0 {
 		o.WALSyncInterval = 100 * time.Millisecond
 	}
+	if o.AdmitWait == 0 {
+		o.AdmitWait = 100 * time.Millisecond
+	}
+	if o.WriteQueue <= 0 {
+		o.WriteQueue = 256
+	}
 	return o
 }
+
+// ErrOverloaded is the admission-control refusal: the session pool (or
+// the write queue) stayed exhausted for the whole bounded wait. The
+// request was never started, so retrying after a backoff is always
+// safe; the HTTP layer translates it to 429 + Retry-After and the
+// binary protocol to a typed RETRY frame.
+var ErrOverloaded = errors.New("serve: overloaded, retry later")
+
+// Protocol labels for per-protocol serving metrics (latency histograms
+// on /metrics).
+const (
+	ProtoHTTP   = "http"
+	ProtoBinary = "binary"
+)
 
 // Stats aggregates serving activity across all sessions of a Server.
 type Stats struct {
 	Queries        int64         // completed successfully
 	Errors         int64         // failed (parse, analyze, or execution)
+	Canceled       int64         // aborted by deadline or client cancellation
+	Rejected       int64         // refused by admission control (pool exhausted)
+	WriteRejected  int64         // writes refused by admission control (queue full)
 	InFlight       int64         // currently executing
 	PreparedHits   int64         // served from the prepared-statement cache
 	PreparedMisses int64         // analyzed afresh
@@ -129,6 +166,7 @@ type Stats struct {
 	RowsInserted    int64  // rows applied through the Maintainer
 	RowsDeleted     int64  // rows removed through the Maintainer
 	GenerationsLive int64  // published but not yet drained generations
+	WriteQueueDepth int64  // writes queued or applying (gauge, filled at snapshot time)
 
 	// Durability (the WriteOp WAL; all zero on a memory-only server).
 	WALRecords  int64 // records appended since boot (one per published batch)
@@ -180,6 +218,16 @@ type Server struct {
 	writeMu sync.Mutex
 	queueMu sync.Mutex
 	writeQ  []*queuedWrite
+	// writeSlots bounds the write queue: a write occupies a slot from
+	// admission until its result is final, so len(writeSlots) is the
+	// queue-depth gauge. Nil when admission control is disabled.
+	writeSlots chan struct{}
+
+	// lat holds the per-protocol query latency histograms exported on
+	// /metrics. The map is built in New and never written afterwards,
+	// so concurrent reads need no lock; the histograms themselves are
+	// atomic.
+	lat map[string]*Histogram
 
 	prepared preparedCache
 
@@ -222,6 +270,13 @@ func New(g *tag.Graph, opts Options) *Server {
 	}
 	s := &Server{opts: opts}
 	s.prepared.init(opts.PreparedLimit)
+	if opts.AdmitWait >= 0 {
+		s.writeSlots = make(chan struct{}, opts.WriteQueue)
+	}
+	s.lat = map[string]*Histogram{
+		ProtoHTTP:   NewHistogram(),
+		ProtoBinary: NewHistogram(),
+	}
 	s.live.Store(1)
 	s.gen.Store(newGeneration(0, g, opts, func() { s.live.Add(-1) }))
 	return s
@@ -436,35 +491,87 @@ func (s *Server) publish(g *tag.Graph, ops, inserted, deleted int) *Generation {
 // generation swaps: schemas are immutable, and execution resolves rows
 // through the session's own generation, not the Analysis.
 func (s *Server) Prepare(query string) (*sql.Analysis, bool, error) {
+	an, _, hit, err := s.prepareFP(query)
+	return an, hit, err
+}
+
+// prepareFP is Prepare plus the normalized fingerprint, which the
+// binary protocol hands to clients so later requests can skip SQL
+// parsing entirely (see QueryPrepared).
+func (s *Server) prepareFP(query string) (*sql.Analysis, string, bool, error) {
 	fp, err := sql.Fingerprint(query)
 	if err != nil {
-		return nil, false, err
+		return nil, "", false, err
 	}
 	if an, ok := s.prepared.get(fp); ok {
-		return an, true, nil
+		return an, fp, true, nil
 	}
 	an, err := sql.AnalyzeString(s.gen.Load().Graph.Catalog, query)
 	if err != nil {
-		return nil, false, err
+		return nil, "", false, err
 	}
 	// On a race, adopt whichever Analysis reached the cache first.
-	return s.prepared.put(fp, an), false, nil
+	return s.prepared.put(fp, an), fp, false, nil
 }
 
 // Query evaluates a SQL string on a pooled session of the current
-// generation, blocking until a session is free. Safe for arbitrary
-// concurrent use, including concurrently with Maintainer writes: the
-// generation is pinned for the duration of the query, so a swap landing
-// mid-flight never changes what this query sees.
+// generation, blocking (up to the admission bound) until a session is
+// free. Safe for arbitrary concurrent use, including concurrently with
+// Maintainer writes: the generation is pinned for the duration of the
+// query, so a swap landing mid-flight never changes what this query
+// sees.
 func (s *Server) Query(query string) (*Result, error) {
-	an, hit, err := s.Prepare(query)
-	s.statsMu.Lock()
+	return s.QueryContext(context.Background(), query)
+}
+
+// QueryContext is Query with a deadline/cancellation context: once ctx
+// is done the query aborts at the next superstep barrier, releases its
+// pooled session, and returns an error wrapping ctx.Err(). Aborted
+// queries count Stats.Canceled, not Errors.
+func (s *Server) QueryContext(ctx context.Context, query string) (*Result, error) {
+	res, _, err := s.QueryOn(ctx, query, ProtoHTTP)
+	return res, err
+}
+
+// QueryOn is the shared request-execution core behind every serving
+// protocol: both the HTTP JSON handler and the binary protocol call
+// it, so deadline, admission, accounting and latency-histogram
+// semantics are identical on each. proto labels the per-protocol
+// latency histogram (ProtoHTTP or ProtoBinary). The returned string is
+// the statement's normalized fingerprint — binary-protocol clients
+// cache it to skip SQL parsing on later requests.
+func (s *Server) QueryOn(ctx context.Context, query, proto string) (*Result, string, error) {
+	an, fp, hit, err := s.prepareFP(query)
 	if err != nil {
+		s.statsMu.Lock()
 		s.stats.Errors++
 		s.stats.PreparedMisses++
 		s.statsMu.Unlock()
-		return nil, err
+		return nil, "", err
 	}
+	res, err := s.execute(ctx, an, hit, proto)
+	return res, fp, err
+}
+
+// QueryPrepared executes a statement previously prepared on this
+// server by its fingerprint — the binary protocol's fast path, which
+// skips lexing and analysis entirely. ok is false when the fingerprint
+// is not (or no longer) cached; the client then falls back to sending
+// the SQL text, which re-primes the cache.
+func (s *Server) QueryPrepared(ctx context.Context, fp, proto string) (res *Result, ok bool, err error) {
+	an, hit := s.prepared.get(fp)
+	if !hit {
+		return nil, false, nil
+	}
+	res, err = s.execute(ctx, an, true, proto)
+	return res, true, err
+}
+
+// execute runs an analyzed query on a pooled session with admission
+// control, cancellation, and outcome accounting. Every protocol's
+// query path funnels through here.
+func (s *Server) execute(ctx context.Context, an *sql.Analysis, hit bool, proto string) (*Result, error) {
+	s.statsMu.Lock()
 	if hit {
 		s.stats.PreparedHits++
 	} else {
@@ -479,20 +586,28 @@ func (s *Server) Query(query string) (*Result, error) {
 	// failure never counted. The decrement and the outcome accounting
 	// therefore live in one deferred closure (res stays nil on the error
 	// and panic paths), mirroring the generation-pin and pool-slot defers
-	// below.
+	// below. Admission refusals and cancellations count their own stats
+	// so overload and deadline behavior are observable separately from
+	// real failures.
 	var res *Result
+	var failure error
 	defer func() {
 		s.statsMu.Lock()
 		s.stats.InFlight--
-		if res == nil {
-			s.stats.Errors++
-		} else {
+		switch {
+		case res != nil:
 			s.stats.Queries++
 			s.stats.TotalTime += res.Elapsed
 			if res.Elapsed > s.stats.MaxTime {
 				s.stats.MaxTime = res.Elapsed
 			}
 			s.stats.Cost.Add(res.Cost)
+		case errors.Is(failure, ErrOverloaded):
+			s.stats.Rejected++
+		case errors.Is(failure, context.Canceled) || errors.Is(failure, context.DeadlineExceeded):
+			s.stats.Canceled++
+		default:
+			s.stats.Errors++
 		}
 		s.statsMu.Unlock()
 	}()
@@ -501,25 +616,33 @@ func (s *Server) Query(query string) (*Result, error) {
 	// leak the generation pin or the pool slot.
 	gen := s.acquireGen()
 	defer gen.release()
-	sess := gen.pool.Acquire()
+	sess, err := gen.pool.AcquireContext(ctx, s.opts.AdmitWait)
+	if err != nil {
+		failure = err
+		return nil, err
+	}
 	defer gen.pool.Release(sess)
 	start := time.Now()
 	before := sess.Stats()
-	rows, err := runSession(sess, an)
+	rows, err := runSession(sess, ctx, an)
 	after := sess.Stats()
 	elapsed := time.Since(start)
 	if err != nil {
+		failure = err
 		return nil, err
 	}
 	res = &Result{Rows: rows, Info: sess.Info, Elapsed: elapsed, Prepared: hit,
 		Cost: after.Sub(before), Epoch: gen.Epoch}
+	if h := s.lat[proto]; h != nil {
+		h.Observe(elapsed)
+	}
 	return res, nil
 }
 
-// runSession indirects Session.Run so tests can inject failures — and
-// panics — into the execution stage without needing a query that
+// runSession indirects Session.RunContext so tests can inject failures
+// — and panics — into the execution stage without needing a query that
 // triggers them organically.
-var runSession = (*core.Session).Run
+var runSession = (*core.Session).RunContext
 
 // Stats returns a snapshot of the aggregate serving statistics.
 func (s *Server) Stats() Stats {
@@ -528,6 +651,7 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	st.Epoch = s.gen.Load().Epoch
 	st.GenerationsLive = s.live.Load()
+	st.WriteQueueDepth = s.writeQueueDepth()
 	if s.wal != nil {
 		ws := s.wal.Stats()
 		st.WALRecords = ws.Records
@@ -551,6 +675,27 @@ func (s *Server) ResetStats() {
 	s.stats = Stats{InFlight: s.stats.InFlight}
 	s.statsMu.Unlock()
 }
+
+// writeQueueDepth reports how many writes are queued or applying right
+// now. With admission control disabled it falls back to the coalescing
+// queue's length (writes applying under the leader are then invisible,
+// which is fine for a diagnostic gauge).
+func (s *Server) writeQueueDepth() int64 {
+	if s.writeSlots != nil {
+		return int64(len(s.writeSlots))
+	}
+	s.queueMu.Lock()
+	defer s.queueMu.Unlock()
+	return int64(len(s.writeQ))
+}
+
+// Latency returns the per-protocol query latency histogram (ProtoHTTP
+// or ProtoBinary) that /metrics exports, or nil for an unknown label.
+func (s *Server) Latency(proto string) *Histogram { return s.lat[proto] }
+
+// AdmitWait returns the admission-control bound, which the protocol
+// layers turn into their Retry-After hints.
+func (s *Server) AdmitWait() time.Duration { return s.opts.AdmitWait }
 
 // PreparedLen returns the number of cached prepared statements.
 func (s *Server) PreparedLen() int { return s.prepared.len() }
