@@ -14,6 +14,9 @@
 //	maintain    serve-while-write: reader QPS under a continuous stream
 //	            of insert batches, graph generations (clone + atomic
 //	            swap) vs the stop-the-world quiescence baseline
+//	maintain2   incremental pinned-query maintenance: hot
+//	            SubscriptionAnswer reads and O(delta) per-epoch folds
+//	            vs cold full-BSP re-runs of the same queries
 //	engine      the BSP message plane: superstep throughput and
 //	            per-session inbox memory, sharded parallel merge vs the
 //	            serial merge, at 1/4/16 workers
@@ -54,7 +57,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|engine|combine|wal|recover|proto|scenario|all")
+	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|maintain2|engine|combine|wal|recover|proto|scenario|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
@@ -98,6 +101,7 @@ func main() {
 		{"ablation", func() error { return runAblation(cfg, report) }},
 		{"serve", func() error { return runServe(cfg, *quick, report) }},
 		{"maintain", func() error { return runMaintain(cfg, *quick, report) }},
+		{"maintain2", func() error { return runMaintain2(cfg, *quick, report) }},
 		{"engine", func() error { return runEngine(cfg, *quick, report) }},
 		{"combine", func() error { return runCombine(cfg, *quick, report) }},
 		{"wal", func() error { return runWal(cfg, *quick, report) }},
@@ -314,6 +318,22 @@ func runMaintain(cfg bench.Config, quick bool, report map[string]any) error {
 		all = append(all, results...)
 	}
 	report["maintain"] = all
+	return nil
+}
+
+func runMaintain2(cfg bench.Config, quick bool, report map[string]any) error {
+	batchRows, rounds := 500, 8
+	if quick {
+		batchRows, rounds = 100, 3
+	}
+	results, err := bench.Maintain2(cfg, batchRows, rounds)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		bench.PrintMaintain2(cfg.Out, res)
+	}
+	report["maintain2"] = results
 	return nil
 }
 

@@ -66,6 +66,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -98,6 +99,9 @@ func main() {
 	adaptive := flag.Bool("adaptive-combine", false, "drop a query's message combiner mid-run when folds are rare (per-run sampling)")
 	admitWait := flag.Duration("admit-wait", 100*time.Millisecond, "admission-control bound: how long a query waits for a session (a write for queue space) before refusal with 429/RETRY (negative = unbounded waits)")
 	writeQueue := flag.Int("write-queue", 256, "max writes queued or applying at once (beyond it, writes wait -admit-wait then get 429)")
+	var pins pinFlags
+	flag.Var(&pins, "pin", "pin a query at boot: the server keeps its answer current across writes (incrementally when eligible); repeatable, and one flag may carry several statements separated by ';'")
+	verifyInc := flag.Bool("verify-incremental", false, "cross-check every incrementally folded pinned-query answer against a cold re-run on the write path (correctness harness; counts incremental_mismatches)")
 	flag.Parse()
 
 	walPolicy, err := wal.ParsePolicy(*walSync)
@@ -155,10 +159,26 @@ func main() {
 		CheckpointNoTruncate: !*ckptTruncate,
 		AdmitWait:            *admitWait,
 		WriteQueue:           *writeQueue,
+		VerifyIncremental:    *verifyInc,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Boot-time pins land after WAL replay, so they answer for the
+	// recovered epoch — a restarted server re-pins to exactly the state
+	// the killed one had published.
+	for _, q := range pins {
+		res, err := srv.Subscribe(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pin %q: %v\n", q, err)
+			os.Exit(2)
+		}
+		how := "incremental"
+		if !res.Eligible {
+			how = "full-recompute (" + res.Reason + ")"
+		}
+		fmt.Printf("pinned %q epoch=%d rows=%d maintenance=%s\n", res.FP, res.Epoch, res.Answer.Len(), how)
 	}
 	var ps *proto.Server
 	if protoLn != nil {
@@ -219,4 +239,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("tagserve: clean shutdown")
+}
+
+// pinFlags collects -pin values: the flag is repeatable, and each value
+// may carry several statements separated by ';' (SQL itself never needs
+// a bare semicolon here).
+type pinFlags []string
+
+func (p *pinFlags) String() string { return strings.Join(*p, "; ") }
+
+func (p *pinFlags) Set(v string) error {
+	for _, q := range strings.Split(v, ";") {
+		if q = strings.TrimSpace(q); q != "" {
+			*p = append(*p, q)
+		}
+	}
+	return nil
 }

@@ -52,6 +52,13 @@ type Graph struct {
 	// touched vertices. nil means tracking is off (initial build) and
 	// Freeze indexes everything.
 	dirty map[VertexID]bool
+
+	// lastFrozen is the set of vertices the most recent incremental
+	// Freeze re-indexed — exactly the vertices whose adjacency the last
+	// Thaw/mutate/Freeze cycle touched. Incremental query maintenance
+	// seeds its delta runs from these (plus their payload-level
+	// bookkeeping in the tag layer) instead of the whole graph.
+	lastFrozen []VertexID
 }
 
 // NewGraph returns an empty graph with a fresh symbol table.
@@ -159,15 +166,25 @@ func (g *Graph) Freeze() {
 			g.freezeVertex(&g.vertices[i])
 		}
 		g.dirty = make(map[VertexID]bool)
+		g.lastFrozen = nil // initial build: "everything", not a delta
 	} else {
+		g.lastFrozen = g.lastFrozen[:0]
 		for v := range g.dirty {
 			g.own(v) // sort mutates in place; never touch a shared slice
 			g.freezeVertex(&g.vertices[v])
+			g.lastFrozen = append(g.lastFrozen, v)
 			delete(g.dirty, v)
 		}
+		sort.Slice(g.lastFrozen, func(i, j int) bool { return g.lastFrozen[i] < g.lastFrozen[j] })
 	}
 	g.frozen = true
 }
+
+// LastFrozenDirty returns, sorted, the vertices the most recent
+// incremental Freeze re-indexed — the adjacency-touched set of the last
+// Thaw/mutate/Freeze cycle. Empty after the initial full Freeze. The
+// slice is owned by the graph and valid until the next Freeze.
+func (g *Graph) LastFrozenDirty() []VertexID { return g.lastFrozen }
 
 func (g *Graph) freezeVertex(v *vertex) {
 	sort.Slice(v.edges, func(a, b int) bool {

@@ -457,6 +457,13 @@ func (e *Session) projectGroups(c *compiled, setup *aggSetup, groups map[string]
 		}
 	}
 
+	// Incremental maintenance snapshots the pre-projection group state
+	// here — before the empty-scalar synthesis below, which is a
+	// projection-time artifact, not state.
+	if e.capture != nil && !e.capture.done {
+		e.capture.record(c, groups, order, header)
+	}
+
 	// Scalar aggregation over empty input still yields one row.
 	if len(blk.Sel.GroupBy) == 0 && blk.HasAgg && len(order) == 0 {
 		g := &groupAcc{rep: make([]relation.Value, len(header)), aggs: setup.newAccs()}

@@ -113,6 +113,12 @@ func (e *Session) compileBlock(an *sql.Analysis, blk *sql.Analyzed) (*compiled, 
 			return nil, fmt.Errorf("core: table %q not in TAG catalog", bt.Table)
 		}
 		card[bt.Alias] = rel.Len()
+		if w, ok := e.restrict[bt.Alias]; ok {
+			// A window-restricted alias contributes only its windowed
+			// vertices; using that count makes GYO remove the (tiny)
+			// delta alias first, so it lands at a leaf of the join tree.
+			card[bt.Alias] = len(w.slice(e.TAG.TupleVertices(bt.Table)))
+		}
 	}
 	for _, fi := range sel.From {
 		switch fi.Join {
@@ -157,7 +163,7 @@ func (e *Session) compileBlock(an *sql.Analysis, blk *sql.Analyzed) (*compiled, 
 		for _, bt := range blk.Tables {
 			aliases = append(aliases, bt.Alias)
 		}
-		qp, err := plan.Build(aliases, c.equi, plan.Options{Cardinality: card})
+		qp, err := plan.Build(aliases, c.equi, plan.Options{Cardinality: card, PreferStart: e.deltaAlias})
 		if err != nil {
 			return nil, err
 		}

@@ -249,6 +249,9 @@ func (r *componentRun) aliasBinding(alias string) sql.Binding {
 // alias for vertex v; unsafe filters were hoisted into prefilter.
 // Safe for concurrent use: the memo slice is per-alias, per-vertex slot.
 func (r *componentRun) passes(alias string, v bsp.VertexID) bool {
+	if w, ok := r.ex.restrict[alias]; ok && !w.contains(v) {
+		return false
+	}
 	if pre, ok := r.prefilter[alias]; ok && !pre[v] {
 		return false
 	}
@@ -311,12 +314,27 @@ func (r *componentRun) evalFilters(alias string, v bsp.VertexID, row relation.Tu
 // initialActives returns the filtered tuple vertices of an alias.
 func (r *componentRun) initialActives(alias string) []bsp.VertexID {
 	var out []bsp.VertexID
-	for _, v := range r.ex.TAG.TupleVertices(r.c.aliasTable[alias]) {
+	for _, v := range r.seedVertices(alias) {
 		if r.passes(alias, v) {
 			out = append(out, v)
 		}
 	}
 	return out
+}
+
+// seedVertices returns the alias's tuple vertices narrowed to its
+// restriction window, if any. The per-relation vertex lists are in
+// ascending ID order (vertices are appended as they are created), so a
+// window is a contiguous sub-slice found by binary search — this is
+// what makes a delta-restricted seed O(log n + |delta|) instead of a
+// scan of the whole relation.
+func (r *componentRun) seedVertices(alias string) []bsp.VertexID {
+	verts := r.ex.TAG.TupleVertices(r.c.aliasTable[alias])
+	w, ok := r.ex.restrict[alias]
+	if !ok {
+		return verts
+	}
+	return w.slice(verts)
 }
 
 // applyCollectPreds filters a partial table by every residual predicate
@@ -376,7 +394,7 @@ func (r *componentRun) runSingle(alias string) (*componentResult, error) {
 			ctx.Emit(v)
 		}
 	})
-	r.ex.eng.Run(prog, r.ex.TAG.TupleVertices(r.c.aliasTable[alias]))
+	r.ex.eng.Run(prog, r.seedVertices(alias))
 	for _, e := range r.ex.eng.Emitted() {
 		res.survivors = append(res.survivors, e.(bsp.VertexID))
 	}

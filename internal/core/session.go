@@ -55,6 +55,18 @@ type Session struct {
 	subCache  map[*sql.Select]*relation.Relation
 	corrCache map[string]*relation.Relation
 	decorr    map[*sql.Select]*decorrTable
+
+	// restrict limits which tuple vertices of an alias participate in a
+	// run, by vertex-ID window (incremental maintenance's old/delta
+	// split); nil means unrestricted. deltaAlias names the alias whose
+	// window is the write delta, so planning can seed the reduction
+	// there. capture, when non-nil, snapshots the pre-projection group
+	// state of the next aggregate run. All three are managed by the
+	// incremental runner (incremental.go) and are nil/"" for ordinary
+	// queries.
+	restrict   map[string]vertexWindow
+	deltaAlias string
+	capture    *stateCapture
 }
 
 // NewSession prepares an independent evaluation session over t. The

@@ -155,6 +155,32 @@ func (p *TAGPlan) genSteps(classes *Classes) {
 	}
 }
 
+// PreferStart re-anchors the traversal at the given alias when its plan
+// node is a leaf: the nodes along the root-to-leaf path are rotated to
+// the last-child position of their parents (genSteps is valid for any
+// child order), then the step list is regenerated so the bottom-up walk
+// begins at that leaf. A non-leaf or unknown alias leaves the plan
+// untouched. Incremental maintenance uses this to start the reduction
+// at the delta-restricted relation.
+func (p *TAGPlan) PreferStart(alias string, classes *Classes) {
+	leaf := p.RelNodeOf(alias)
+	if leaf < 0 || len(p.Nodes[leaf].Children) > 0 || p.Nodes[leaf].Parent < 0 {
+		return
+	}
+	for n := leaf; p.Nodes[n].Parent >= 0; n = p.Nodes[n].Parent {
+		ch := p.Nodes[p.Nodes[n].Parent].Children
+		for i, c := range ch {
+			if c == n {
+				copy(ch[i:], ch[i+1:])
+				ch[len(ch)-1] = n
+				break
+			}
+		}
+	}
+	p.Steps = nil
+	p.genSteps(classes)
+}
+
 // Reversed returns the top-down step list: the bottom-up steps reversed
 // with directions flipped (drives the DOWN pass and, reversed again, the
 // collection phase).

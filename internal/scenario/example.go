@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// ExampleRun executes one of the repo's example programs to completion
+// with the go tool (`go run repro/examples/<name>`), requiring exit 0
+// and every Want marker on its output. The graph-side suites
+// (triangle counting, connected components) verify themselves against
+// an independent brute-force computation and print a stable
+// "... verified OK" line — the scenario asserts that line at a
+// declared scale, which is what makes these graph rows scale-N drills
+// rather than fixed unit tests.
+type ExampleRun struct {
+	Name    string   // package name under examples/
+	Args    []string // flags, e.g. "-nodes", "400"
+	Want    []string // substrings the combined output must contain
+	Timeout time.Duration
+}
+
+func (s ExampleRun) Describe() string {
+	return fmt.Sprintf("run examples/%s %s", s.Name, strings.Join(s.Args, " "))
+}
+
+func (s ExampleRun) Run(c *Ctx) error {
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 3 * time.Minute
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	args := append([]string{"run", "repro/examples/" + s.Name}, s.Args...)
+	out, err := exec.CommandContext(ctx, "go", args...).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("examples/%s: %v\n%s", s.Name, err, out)
+	}
+	for _, want := range s.Want {
+		if !strings.Contains(string(out), want) {
+			return fmt.Errorf("examples/%s output lacks %q:\n%s", s.Name, want, out)
+		}
+	}
+	c.Logf("examples/%s: %d bytes of output, all markers present", s.Name, len(out))
+	return nil
+}

@@ -270,6 +270,75 @@ func Matrix() []Scenario {
 			},
 		},
 		{
+			Name: "pinned-query-replay",
+			Tier: Quick,
+			Doc:  "a -pin'd query's maintained answer stays byte-identical to cold runs across writes and a kill -9 + WAL replay",
+			Steps: []Step{
+				Start{Flags: tpch("-wal", "{dir}/wal", "-wal-sync", "always",
+					"-verify-incremental", "-pin", countMarker)},
+				Subscribe{SQL: countMarker, WantIncremental: true},
+				Write{Table: "nation", Rows: [][]any{nationRow(900, "SCEN-A")}},
+				Write{Table: "nation", Rows: [][]any{nationRow(901, "SCEN-B")}},
+				Write{Table: "nation", Rows: [][]any{nationRow(902, "SCEN-C")}},
+				PinnedAnswer{SQL: countMarker, WantCell: "3", MatchCold: true, EpochAcked: true},
+				StatsMin{Field: "incremental_hits", Min: 3},
+				StatsEq{Field: "incremental_mismatches", Want: 0},
+				Kill{},
+				Restart{}, // same flags: WAL replays, then -pin re-subscribes at the recovered epoch
+				AssertEpoch{Acked: true},
+				PinnedAnswer{SQL: countMarker, WantCell: "3", MatchCold: true, EpochAcked: true},
+				Write{Table: "nation", Rows: [][]any{nationRow(903, "SCEN-D")}},
+				PinnedAnswer{SQL: countMarker, WantCell: "4", MatchCold: true, EpochAcked: true},
+				StatsMin{Field: "incremental_hits", Min: 1},
+				StatsEq{Field: "incremental_mismatches", Want: 0},
+				Health{},
+			},
+		},
+		{
+			Name: "subscribe-fuzz-4xx",
+			Tier: Quick,
+			Doc:  "hostile /subscribe traffic: always 4xx+JSON, never 500, epoch unmoved, nothing pinned",
+			Steps: []Step{
+				Start{Flags: tpch()},
+				BadRequest{Path: "/subscribe", Body: `{bad json`, WantStatus: 400},
+				BadRequest{Path: "/subscribe", Body: `{"sql": ""}`, WantStatus: 400},
+				BadRequest{Path: "/subscribe", Body: `{"sql": 42}`, WantStatus: 400},
+				BadRequest{Path: "/subscribe", Body: `{"sql": "SELECT"}`, WantStatus: 422},
+				BadRequest{Path: "/subscribe", Body: `{"sql": "SELECT * FROM no_such_table"}`, WantStatus: 422},
+				BadRequest{Path: "/subscribe", Body: `{"sql": "DROP TABLE nation"}`, WantStatus: 422},
+				BadRequest{Method: "GET", Path: "/subscribe", WantStatus: 400},            // missing fp
+				BadRequest{Method: "GET", Path: "/subscribe?fp=no-such", WantStatus: 404}, // unknown pin
+				BadRequest{Method: "GET", Path: "/subscribe?fp=x&wait_ms=abc", WantStatus: 400},
+				BadRequest{Method: "GET", Path: "/subscribe?fp=x&wait_ms=-5", WantStatus: 400},
+				BadRequest{Method: "GET", Path: "/subscribe?fp=x&after=-1", WantStatus: 400},
+				BadRequest{Method: "DELETE", Path: "/subscribe", WantStatus: 400},
+				BadRequest{Method: "DELETE", Path: "/subscribe?fp=no-such", WantStatus: 404},
+				BadRequest{Method: "PUT", Path: "/subscribe", Body: `{"sql": "SELECT n_name FROM nation"}`, WantStatus: 405},
+				AssertEpoch{Want: 0},
+				StatsEq{Field: "pinned_queries", Want: 0},
+				Health{},
+				Query{SQL: "SELECT COUNT(*) FROM nation", WantCell: "25"}, // still serving
+			},
+		},
+		{
+			Name: "triangles-scale",
+			Tier: Quick,
+			Doc:  "cyclic triangle count at scale: every θ variant must match the brute-force count",
+			Steps: []Step{
+				ExampleRun{Name: "triangles", Args: []string{"-nodes", "200", "-edges", "1200"},
+					Want: []string{"verified OK at every θ", "cyclic=true"}},
+			},
+		},
+		{
+			Name: "components-scale",
+			Tier: Quick,
+			Doc:  "BSP label-propagation connected components, verified against union-find at 1 and 4 workers",
+			Steps: []Step{
+				ExampleRun{Name: "components", Args: []string{"-nodes", "20000", "-edges", "30000"},
+					Want: []string{"verified OK"}},
+			},
+		},
+		{
 			Name: "bigint-string-roundtrip",
 			Tier: Quick,
 			Doc:  "INTs beyond 2^53 round-trip through their decimal-string form and survive replay",
@@ -398,6 +467,24 @@ func Matrix() []Scenario {
 				Query{SQL: countMarker, WantLedger: true},
 				AssertEpoch{Acked: true},
 				StatsEq{Field: "errors", Want: 0},
+			},
+		},
+		{
+			Name: "triangles-scale-soak",
+			Tier: Full,
+			Doc:  "the triangle drill at a larger follower graph",
+			Steps: []Step{
+				ExampleRun{Name: "triangles", Args: []string{"-nodes", "400", "-edges", "3000"},
+					Want: []string{"verified OK at every θ", "cyclic=true"}, Timeout: 10 * time.Minute},
+			},
+		},
+		{
+			Name: "components-scale-soak",
+			Tier: Full,
+			Doc:  "connected components on a graph 10x the quick row",
+			Steps: []Step{
+				ExampleRun{Name: "components", Args: []string{"-nodes", "200000", "-edges", "300000"},
+					Want: []string{"verified OK"}, Timeout: 10 * time.Minute},
 			},
 		},
 		{

@@ -61,9 +61,10 @@ type Ctx struct {
 // assert.
 type serverState struct {
 	mu     sync.Mutex
-	acked  uint64  // highest write epoch the server acknowledged
-	ledger int64   // marker rows inserted minus deleted (acked only)
-	last   []int64 // tuple-vertex ids of the last successful Write step
+	acked  uint64            // highest write epoch the server acknowledged
+	ledger int64             // marker rows inserted minus deleted (acked only)
+	last   []int64           // tuple-vertex ids of the last successful Write step
+	subs   map[string]string // SQL -> subscription fingerprint from Subscribe steps
 }
 
 func (st *serverState) ack(epoch uint64, ledgerDelta int64) {

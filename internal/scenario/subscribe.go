@@ -1,0 +1,173 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// Subscribe POSTs /subscribe and remembers the returned fingerprint
+// under the statement's SQL, so later PinnedAnswer steps can address
+// the pin across restarts (the fingerprint is derived from the SQL
+// alone, so a boot-time -pin of the same statement answers to it).
+type Subscribe struct {
+	Server string
+	SQL    string
+	// WantIncremental requires the server to maintain the pin by delta
+	// folding; a full-recompute answer fails the step.
+	WantIncremental bool
+}
+
+func (s Subscribe) Describe() string { return "subscribe " + s.SQL }
+
+func (s Subscribe) Run(c *Ctx) error {
+	body, err := json.Marshal(map[string]string{"sql": s.SQL})
+	if err != nil {
+		return err
+	}
+	status, _, out, err := c.do(s.Server, http.MethodPost, "/subscribe", body)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("/subscribe: status %d: %s", status, out)
+	}
+	var resp struct {
+		FP          string `json:"fp"`
+		Incremental bool   `json:"incremental"`
+		Reason      string `json:"reason"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return fmt.Errorf("/subscribe response: %w", err)
+	}
+	if resp.FP == "" {
+		return fmt.Errorf("/subscribe answered without a fingerprint: %s", out)
+	}
+	if s.WantIncremental && !resp.Incremental {
+		return fmt.Errorf("pin is not maintained incrementally (%s)", resp.Reason)
+	}
+	st := c.state(s.Server)
+	st.mu.Lock()
+	if st.subs == nil {
+		st.subs = map[string]string{}
+	}
+	st.subs[s.SQL] = resp.FP
+	st.mu.Unlock()
+	return nil
+}
+
+// PinnedAnswer reads a pinned query's maintained answer (GET
+// /subscribe?fp=...) and asserts on it. MatchCold is the correctness
+// teeth: the maintained rows must equal, as a multiset, a cold /query
+// run of the same SQL — the incremental fold may never drift from what
+// a full BSP re-run computes.
+type PinnedAnswer struct {
+	Server     string
+	SQL        string // names a pin recorded by an earlier Subscribe step
+	WantCell   string // exact first-cell value, when non-empty
+	MatchCold  bool   // rows must equal a cold /query of the same SQL
+	EpochAcked bool   // the answer's epoch must be >= the acked epoch
+}
+
+func (s PinnedAnswer) Describe() string { return "pinned answer " + s.SQL }
+
+func (s PinnedAnswer) Run(c *Ctx) error {
+	st := c.state(s.Server)
+	st.mu.Lock()
+	fp, ok := st.subs[s.SQL]
+	st.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("no Subscribe step recorded a pin for %q", s.SQL)
+	}
+	status, _, out, err := c.do(s.Server, http.MethodGet, "/subscribe?fp="+url.QueryEscape(fp), nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("GET /subscribe: status %d: %s", status, out)
+	}
+	var resp struct {
+		Epoch uint64  `json:"epoch"`
+		Rows  [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return fmt.Errorf("GET /subscribe response: %w", err)
+	}
+	if s.WantCell != "" {
+		if len(resp.Rows) == 0 || len(resp.Rows[0]) == 0 {
+			return fmt.Errorf("no rows, want cell %q", s.WantCell)
+		}
+		if cell := cellString(resp.Rows[0][0]); cell != s.WantCell {
+			return fmt.Errorf("pinned cell %q, want %q", cell, s.WantCell)
+		}
+	}
+	if s.EpochAcked {
+		acked, _ := st.snapshot()
+		if resp.Epoch < acked {
+			return fmt.Errorf("pinned answer at epoch %d, below acked epoch %d", resp.Epoch, acked)
+		}
+	}
+	if s.MatchCold {
+		qStatus, _, qOut, err := c.do(s.Server, http.MethodGet, "/query?sql="+url.QueryEscape(s.SQL), nil)
+		if err != nil {
+			return err
+		}
+		if qStatus != http.StatusOK {
+			return fmt.Errorf("cold /query: status %d: %s", qStatus, qOut)
+		}
+		var cold struct {
+			Rows [][]any `json:"rows"`
+		}
+		if err := json.Unmarshal(qOut, &cold); err != nil {
+			return fmt.Errorf("cold /query response: %w", err)
+		}
+		if got, want := canonRows(resp.Rows), canonRows(cold.Rows); got != want {
+			return fmt.Errorf("pinned answer diverged from cold run:\npinned: %s\ncold:   %s", got, want)
+		}
+	}
+	return nil
+}
+
+// canonRows renders a row set order-independently: both the pinned
+// answer and a cold run are multisets (the dialect has no ORDER BY).
+func canonRows(rows [][]any) string {
+	lines := make([]string, len(rows))
+	for i, row := range rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = cellString(v)
+		}
+		lines[i] = strings.Join(cells, "|")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// Unsubscribe DELETEs a pin recorded by an earlier Subscribe step.
+type Unsubscribe struct {
+	Server string
+	SQL    string
+}
+
+func (s Unsubscribe) Describe() string { return "unsubscribe " + s.SQL }
+
+func (s Unsubscribe) Run(c *Ctx) error {
+	st := c.state(s.Server)
+	st.mu.Lock()
+	fp, ok := st.subs[s.SQL]
+	st.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("no Subscribe step recorded a pin for %q", s.SQL)
+	}
+	status, _, out, err := c.do(s.Server, http.MethodDelete, "/subscribe?fp="+url.QueryEscape(fp), nil)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("DELETE /subscribe: status %d: %s", status, out)
+	}
+	return nil
+}

@@ -112,6 +112,41 @@ type StatsResponse struct {
 	Checkpoints      int64  `json:"checkpoints"`
 	CheckpointEpoch  uint64 `json:"checkpoint_epoch"`
 	CheckpointErrors int64  `json:"checkpoint_errors"`
+	// Incremental maintenance of pinned queries (subscriptions).
+	PinnedQueries         int64 `json:"pinned_queries"`
+	IncrementalHits       int64 `json:"incremental_hits"`
+	IncrementalFallbacks  int64 `json:"incremental_fallbacks"`
+	IncrementalMismatches int64 `json:"incremental_mismatches"`
+}
+
+// SubscribeRequest is the POST /subscribe request body: the query to
+// pin. The server answers it once, keeps the answer current across
+// every later write (incrementally when the query is eligible), and
+// returns a fingerprint handle for polling and unpinning.
+type SubscribeRequest struct {
+	SQL string `json:"sql"`
+}
+
+// SubscribeResponse is the /subscribe response body (POST and GET).
+// Incremental reports whether the pinned query is maintained by delta
+// folding; Reason names the disqualifier otherwise. Rows follow the
+// /query cell encoding and are canonically sorted, so two identical
+// answers render identically.
+type SubscribeResponse struct {
+	FP          string   `json:"fp"`
+	Incremental bool     `json:"incremental"`
+	Reason      string   `json:"reason,omitempty"`
+	Epoch       uint64   `json:"epoch"`
+	Pins        int      `json:"pins,omitempty"`
+	Columns     []string `json:"columns"`
+	Rows        [][]any  `json:"rows"`
+	RowCount    int      `json:"row_count"`
+}
+
+// UnsubscribeResponse is the DELETE /subscribe response body.
+type UnsubscribeResponse struct {
+	FP   string `json:"fp"`
+	Pins int    `json:"pins"` // pins remaining; 0 means the subscription is gone
 }
 
 type errorResponse struct {
@@ -123,6 +158,9 @@ type errorResponse struct {
 //	POST /query  {"sql": "..."}    → QueryResponse
 //	GET  /query?sql=...            → QueryResponse
 //	POST /write  WriteRequest      → WriteResponse (serve-while-write)
+//	POST   /subscribe {"sql": "..."}        → SubscribeResponse (pin a query)
+//	GET    /subscribe?fp=...&after=&wait_ms= → SubscribeResponse (long-poll)
+//	DELETE /subscribe?fp=...                → UnsubscribeResponse
 //	GET  /stats                    → StatsResponse
 //	GET  /healthz                  → 200 "ok"
 func Handler(s *Server) http.Handler { return handler(s, false) }
@@ -225,6 +263,84 @@ func handler(s *Server, readOnly bool) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, toQueryResponse(res))
 	})
+	mux.HandleFunc("/subscribe", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+			var req SubscribeRequest
+			if err := json.Unmarshal(body, &req); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+				return
+			}
+			if req.SQL == "" {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing sql"})
+				return
+			}
+			res, err := s.Subscribe(req.SQL)
+			if err != nil {
+				writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error()})
+				return
+			}
+			writeJSON(w, http.StatusOK, toSubscribeResponse(res))
+		case http.MethodGet:
+			fp := r.URL.Query().Get("fp")
+			if fp == "" {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing fp"})
+				return
+			}
+			after := uint64(0)
+			if v := r.URL.Query().Get("after"); v != "" {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err != nil {
+					writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad after: " + err.Error()})
+					return
+				}
+				after = n
+			}
+			waitMS := 0.0
+			if v := r.URL.Query().Get("wait_ms"); v != "" {
+				d, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad wait_ms: " + err.Error()})
+					return
+				}
+				waitMS = d
+			}
+			wait, err := clampWait(waitMS)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), wait)
+			defer cancel()
+			answer, epoch, ok := s.WaitAnswer(ctx, fp, after)
+			if !ok {
+				writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown subscription " + fp})
+				return
+			}
+			writeJSON(w, http.StatusOK, answerResponse(fp, epoch, answer))
+		case http.MethodDelete:
+			fp := r.URL.Query().Get("fp")
+			if fp == "" {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing fp"})
+				return
+			}
+			remaining, ok := s.Unsubscribe(fp)
+			if !ok {
+				writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown subscription " + fp})
+				return
+			}
+			writeJSON(w, http.StatusOK, UnsubscribeResponse{FP: fp, Pins: remaining})
+		default:
+			w.Header().Set("Allow", "POST, GET, DELETE")
+			writeJSON(w, http.StatusMethodNotAllowed,
+				errorResponse{Error: fmt.Sprintf("method %s not allowed (allow: POST, GET, DELETE)", r.Method)})
+		}
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if !allowMethods(w, r, http.MethodGet, http.MethodHead) {
 			return
@@ -277,6 +393,11 @@ func handler(s *Server, readOnly bool) http.Handler {
 			Checkpoints:      st.Checkpoints,
 			CheckpointEpoch:  st.CheckpointEpoch,
 			CheckpointErrors: st.CheckpointErrors,
+
+			PinnedQueries:         st.PinnedQueries,
+			IncrementalHits:       st.IncrementalHits,
+			IncrementalFallbacks:  st.IncrementalFallbacks,
+			IncrementalMismatches: st.IncrementalMismatches,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -330,6 +451,38 @@ func allowMethods(w http.ResponseWriter, r *http.Request, methods ...string) boo
 	writeJSON(w, http.StatusMethodNotAllowed,
 		errorResponse{Error: fmt.Sprintf("method %s not allowed (allow: %s)", r.Method, strings.Join(methods, ", "))})
 	return false
+}
+
+func toSubscribeResponse(res *SubscribeResult) SubscribeResponse {
+	out := answerResponse(res.FP, res.Epoch, res.Answer)
+	out.Incremental = res.Eligible
+	out.Reason = res.Reason
+	out.Pins = res.Pins
+	return out
+}
+
+// answerResponse renders a pinned query's current answer; Incremental,
+// Reason and Pins stay zero on the long-poll path (they are properties
+// of the pin, reported when it is made).
+func answerResponse(fp string, epoch uint64, answer *relation.Relation) SubscribeResponse {
+	out := SubscribeResponse{
+		FP:       fp,
+		Epoch:    epoch,
+		Columns:  make([]string, 0, answer.Schema.Len()),
+		Rows:     make([][]any, 0, len(answer.Tuples)),
+		RowCount: answer.Len(),
+	}
+	for _, c := range answer.Schema.Columns {
+		out.Columns = append(out.Columns, c.Name)
+	}
+	for _, t := range answer.Tuples {
+		row := make([]any, len(t))
+		for i, v := range t {
+			row[i] = JSONValue(v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
 }
 
 func toQueryResponse(res *Result) QueryResponse {

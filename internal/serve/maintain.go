@@ -290,6 +290,14 @@ func (s *Server) applyBatch(batch []*queuedWrite) {
 		qw.res.Coalesced = len(applied)
 		qw.res.Elapsed = elapsed
 	}
+	// Advance every pinned query to the new epoch while still holding
+	// writeMu: the published graph's delta tracking describes exactly
+	// this batch, so eligible subscriptions fold it in O(delta) instead
+	// of re-running. (No-op while nothing is pinned — boot-time WAL
+	// replay runs before any pin exists.) This runs after the batch's
+	// results are finalized, so the writes stay acknowledged even if a
+	// refresh fails.
+	s.refreshSubscriptions(gen)
 	s.maybeCheckpoint(gen)
 }
 

@@ -126,6 +126,9 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	counter("tagserve_wal_bytes_total", "WAL bytes appended since boot.", st.WALBytes)
 	counter("tagserve_wal_fsyncs_total", "Fsyncs issued by the WAL sync policy.", st.WALFsyncs)
 	counter("tagserve_checkpoints_total", "Checkpoints written since boot.", st.Checkpoints)
+	counter("tagserve_incremental_hits_total", "Pinned-query epoch advances folded incrementally from the write delta.", st.IncrementalHits)
+	counter("tagserve_incremental_fallbacks_total", "Pinned-query epoch advances that re-ran the query cold.", st.IncrementalFallbacks)
+	counter("tagserve_incremental_mismatches_total", "Verified folds that diverged from the cold run (cold answer won).", st.IncrementalMismatches)
 	counter("tagserve_bsp_messages_total", "BSP messages sent by all queries (the paper's M).", st.Cost.Messages)
 	counter("tagserve_bsp_supersteps_total", "BSP supersteps run by all queries.", int64(st.Cost.Supersteps))
 
@@ -134,6 +137,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	gauge("tagserve_generations_live", "Published but not yet drained graph generations.", st.GenerationsLive)
 	gauge("tagserve_epoch", "Epoch of the currently served generation.", int64(st.Epoch))
 	gauge("tagserve_prepared_statements", "Cached prepared statements.", int64(s.PreparedLen()))
+	gauge("tagserve_pinned_queries", "Currently pinned (subscribed) queries.", st.PinnedQueries)
 
 	// Per-protocol latency histograms, in the le-cumulative bucket form,
 	// plus summary-style quantile gauges so p50/p99/p999 are readable

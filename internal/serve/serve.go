@@ -107,6 +107,14 @@ type Options struct {
 	// refused with ErrOverloaded. Defaults to 256. Ignored when
 	// AdmitWait is negative.
 	WriteQueue int
+
+	// VerifyIncremental checks every incrementally folded pinned-query
+	// answer byte-identical to a cold re-run of the same epoch, on the
+	// write path. A divergence counts Stats.IncrementalMismatches and the
+	// cold answer wins. This makes every write pay a full query per
+	// pinned subscription — it is a correctness harness for tests,
+	// scenario drills and benchmarks, not a production default.
+	VerifyIncremental bool
 }
 
 func (o Options) withDefaults() Options {
@@ -180,6 +188,12 @@ type Stats struct {
 	Checkpoints      int64  // checkpoints written since boot
 	CheckpointEpoch  uint64 // epoch covered by the newest checkpoint (boot-loaded or written)
 	CheckpointErrors int64  // checkpoint attempts that failed or were skipped as invalid
+
+	// Incremental maintenance of pinned queries (subscriptions).
+	PinnedQueries         int64 // currently pinned queries (gauge, filled at snapshot time)
+	IncrementalHits       int64 // pinned-query epoch advances folded from the write delta
+	IncrementalFallbacks  int64 // pinned-query epoch advances that re-ran the query cold
+	IncrementalMismatches int64 // VerifyIncremental divergences (cold answer won)
 }
 
 // String renders the stats compactly.
@@ -255,6 +269,13 @@ type Server struct {
 	ckptCount     int64
 	ckptErrors    int64
 
+	// subMu guards the pinned-query registry. The write path refreshes
+	// every subscription under writeMu right after each publish (see
+	// refreshSubscriptions); subMu is only held for registry lookups and
+	// snapshots, never across query execution.
+	subMu sync.Mutex
+	subs  map[string]*subscription
+
 	statsMu sync.Mutex
 	stats   Stats
 }
@@ -268,7 +289,7 @@ func New(g *tag.Graph, opts Options) *Server {
 	if !g.G.Frozen() {
 		g.G.Freeze()
 	}
-	s := &Server{opts: opts}
+	s := &Server{opts: opts, subs: map[string]*subscription{}}
 	s.prepared.init(opts.PreparedLimit)
 	if opts.AdmitWait >= 0 {
 		s.writeSlots = make(chan struct{}, opts.WriteQueue)
@@ -661,6 +682,9 @@ func (s *Server) Stats() Stats {
 	}
 	st.WALReplayed = s.walReplayed
 	st.WALSkipped = s.walSkipped
+	s.subMu.Lock()
+	st.PinnedQueries = int64(len(s.subs))
+	s.subMu.Unlock()
 	s.ckptMu.Lock()
 	st.Checkpoints = s.ckptCount
 	st.CheckpointEpoch = s.ckptLastEpoch

@@ -29,6 +29,15 @@ func (t *Graph) Clone() *Graph {
 		edgeLabel:    t.edgeLabel,    // never mutated after Build
 		materialized: t.materialized, // never mutated after Build
 		attrKindLbl:  make(map[relation.Kind]bsp.LabelID, len(t.attrKindLbl)),
+
+		// Arm delta tracking: everything the clone creates sits at
+		// vertex IDs >= this boundary, which is what lets incremental
+		// query maintenance split any relation into its old and delta
+		// tuples by a single ID comparison.
+		deltaBase:    t.G.NumVertices(),
+		deltaInserts: make(map[string]int),
+		deltaDeletes: make(map[string]int),
+		deltaDirty:   make(map[bsp.VertexID]bool),
 	}
 	for k, v := range t.attrVertex {
 		nt.attrVertex[k] = v

@@ -69,6 +69,10 @@ func (t *Graph) InsertBatch(table string, rows []relation.Tuple) ([]bsp.VertexID
 		out = append(out, tv)
 	}
 	t.G.Freeze()
+	if t.deltaInserts != nil {
+		t.deltaInserts[table] += len(rows)
+		t.noteFrozenDirty()
+	}
 	return out, nil
 }
 
@@ -212,8 +216,14 @@ func (t *Graph) DeleteBatch(vs []bsp.VertexID) error {
 				break
 			}
 		}
+		if t.deltaDeletes != nil {
+			t.deltaDeletes[d.Table]++
+		}
 	}
 	t.G.Freeze()
+	if t.deltaDirty != nil {
+		t.noteFrozenDirty()
+	}
 	return nil
 }
 

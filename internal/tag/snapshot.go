@@ -260,6 +260,7 @@ func ReadSnapshot(br *bufio.Reader) (*Graph, error) {
 		attrByEdge:  make(map[bsp.LabelID][]bsp.VertexID),
 		edgeLabel:   make(map[string]bsp.LabelID),
 		attrKindLbl: make(map[relation.Kind]bsp.LabelID),
+		deltaBase:   -1,
 	}
 
 	// Symbols: re-Intern in id order.

@@ -81,6 +81,19 @@ type Graph struct {
 	edgeLabel    map[string]bsp.LabelID // lower(table.column) -> edge label
 	materialized map[string]bool        // lower(table.column)
 	attrKindLbl  map[relation.Kind]bsp.LabelID
+
+	// Delta tracking for incremental query maintenance. A Clone records
+	// the parent's vertex-ID high-water mark: vertex IDs are assigned
+	// monotonically, so every vertex this graph created after the Clone
+	// has ID >= deltaBase, and a tuple vertex with ID < deltaBase
+	// existed (live) in the parent generation unless a delete touched
+	// it. InsertBatch/DeleteBatch maintain the per-table counters and
+	// the batch-touched vertex set. deltaBase < 0 means tracking is off
+	// (a freshly Built graph).
+	deltaBase    int
+	deltaInserts map[string]int        // lower(table) -> rows inserted since Clone
+	deltaDeletes map[string]int        // lower(table) -> rows deleted since Clone
+	deltaDirty   map[bsp.VertexID]bool // adjacency-touched vertices since Clone
 }
 
 // Build encodes every relation in the catalog. A nil policy means
@@ -101,6 +114,7 @@ func Build(cat *relation.Catalog, policy Policy) (*Graph, error) {
 		edgeLabel:    make(map[string]bsp.LabelID),
 		materialized: make(map[string]bool),
 		attrKindLbl:  make(map[relation.Kind]bsp.LabelID),
+		deltaBase:    -1,
 	}
 	t.Aggregator = t.G.AddVertex(t.G.Symbols.Intern("#aggregator"), nil)
 	for _, name := range cat.Names() {
@@ -260,4 +274,69 @@ func (t *Graph) ByteSize() int { return t.G.ByteSize() }
 func (t *Graph) String() string {
 	return fmt.Sprintf("TAG{%d tuple vertices, %d attribute vertices, %d edges}",
 		t.NumTupleVertices(), t.NumAttrVertices(), t.G.NumEdges()/2)
+}
+
+// DeltaTracked reports whether this graph is a Clone carrying per-batch
+// delta bookkeeping for incremental query maintenance.
+func (t *Graph) DeltaTracked() bool { return t.deltaBase >= 0 }
+
+// DeltaBase returns the vertex-ID boundary recorded at Clone: vertices
+// with ID < DeltaBase existed in the parent generation, vertices with
+// ID >= DeltaBase were created by this clone's write batches. Only
+// meaningful when DeltaTracked.
+func (t *Graph) DeltaBase() bsp.VertexID { return bsp.VertexID(t.deltaBase) }
+
+// DeltaInserts returns the number of rows inserted into table since the
+// Clone (0 when untouched or not tracked).
+func (t *Graph) DeltaInserts(table string) int {
+	return t.deltaInserts[strings.ToLower(table)]
+}
+
+// DeltaDeletes returns the number of rows deleted from table since the
+// Clone (0 when untouched or not tracked).
+func (t *Graph) DeltaDeletes(table string) int {
+	return t.deltaDeletes[strings.ToLower(table)]
+}
+
+// DeltaTables returns the lower-cased names of every table a write
+// batch has touched (insert or delete) since the Clone, sorted.
+func (t *Graph) DeltaTables() []string {
+	seen := make(map[string]bool, len(t.deltaInserts)+len(t.deltaDeletes))
+	for tb := range t.deltaInserts {
+		seen[tb] = true
+	}
+	for tb := range t.deltaDeletes {
+		seen[tb] = true
+	}
+	out := make([]string, 0, len(seen))
+	for tb := range seen {
+		out = append(out, tb)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirtyVertices returns, sorted, every vertex whose adjacency the
+// clone's write batches touched: new tuple vertices, the attribute
+// vertices they attached to, and the endpoints of deleted edges. This
+// is the union of the underlying bsp.Graph's per-Freeze dirty sets,
+// accumulated across every InsertBatch/DeleteBatch since Clone.
+func (t *Graph) DirtyVertices() []bsp.VertexID {
+	out := make([]bsp.VertexID, 0, len(t.deltaDirty))
+	for v := range t.deltaDirty {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// noteFrozenDirty folds the bsp layer's last-Freeze dirty set into the
+// clone's accumulated batch-touched set.
+func (t *Graph) noteFrozenDirty() {
+	if t.deltaDirty == nil {
+		return
+	}
+	for _, v := range t.G.LastFrozenDirty() {
+		t.deltaDirty[v] = true
+	}
 }
