@@ -23,6 +23,11 @@
 //	combine     message-plane combiners: Send-time folding vs
 //	            materializing every message on aggregate-heavy queries
 //	            (wall time, merge time, peak inbox bytes, fold counters)
+//	dist        real-wire distributed execution: the TPC-H suite on
+//	            1/2/4-worker topologies over actual loopback sockets
+//	            (internal/dist) vs the single-process engine, with
+//	            measured bytes-on-wire checked against the simulated
+//	            network accounting
 //	wal         write durability: ingest throughput through the WriteOp
 //	            write-ahead log under each sync policy (always /
 //	            group-commit interval / never) vs the memory-only path
@@ -57,7 +62,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|maintain2|engine|combine|wal|recover|proto|scenario|all")
+	exp := flag.String("exp", "all", "experiments, comma-separated: load|tpch|tpcds|memory|distributed|ablation|serve|maintain|maintain2|engine|combine|dist|wal|recover|proto|scenario|all")
 	scalesFlag := flag.String("scales", "0.5,1,2", "comma-separated scale factors (stand-ins for SF-30/50/75)")
 	runs := flag.Int("runs", 3, "timed repetitions per query (after one warm-up)")
 	workers := flag.Int("workers", 0, "BSP worker threads (0 = GOMAXPROCS)")
@@ -104,6 +109,7 @@ func main() {
 		{"maintain2", func() error { return runMaintain2(cfg, *quick, report) }},
 		{"engine", func() error { return runEngine(cfg, *quick, report) }},
 		{"combine", func() error { return runCombine(cfg, *quick, report) }},
+		{"dist", func() error { return runDist(cfg, *quick, report) }},
 		{"wal", func() error { return runWal(cfg, *quick, report) }},
 		{"recover", func() error { return runRecover(cfg, *quick, report) }},
 		{"proto", func() error { return runProto(cfg, *quick, report) }},
@@ -298,6 +304,22 @@ func runEngine(cfg bench.Config, quick bool, report map[string]any) error {
 	}
 	bench.PrintEngine(cfg.Out, res)
 	report["engine"] = res
+	return nil
+}
+
+func runDist(cfg bench.Config, quick bool, report map[string]any) error {
+	workerCounts := []int{1, 2, 4}
+	var queryIDs []string // nil = the whole suite
+	if quick {
+		workerCounts = []int{1, 2}
+		queryIDs = []string{"q1", "q5", "q9"}
+	}
+	res, err := bench.DistWireBench(cfg, "tpch", workerCounts, queryIDs)
+	if err != nil {
+		return err
+	}
+	bench.PrintDistWire(cfg.Out, res)
+	report["dist"] = res
 	return nil
 }
 

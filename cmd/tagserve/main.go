@@ -37,6 +37,22 @@
 // wait before the server refuses it (HTTP 429 + Retry-After, binary
 // RETRY frame) instead of queueing without limit.
 //
+// Distributed serving (internal/dist): with -workers N the server
+// becomes the coordinator of a real multi-process cluster — it binds a
+// cluster port (-dist-addr, printed as "listening dist://<addr>"),
+// waits for N `tagserve -worker <that addr>` processes to join, and
+// then answers every query by running it on all N+1 nodes at once,
+// each owning one hash-partition of the graph, with the data exchange
+// on real sockets. Answers are byte-identical to single-process
+// serving, and the wire carries exactly the bytes the simulated
+// cluster accounting (internal/cluster) prices. Distributed serving is
+// read-only: -workers refuses -pin, /write and the WAL flags. A worker
+// process learns the dataset (db/scale/seed) from the coordinator,
+// builds the identical graph, and serves only /healthz and /stats over
+// HTTP — queries flow through the cluster. If any node dies the
+// cluster degrades permanently (queries answer 503); surviving
+// processes stay alive for inspection until SIGTERM.
+//
 // Harness affordances: the listener is bound before the database loads
 // and the first stdout line is always "listening http://<addr>" (with
 // -proto-addr, "listening proto://<addr>" follows it) — with
@@ -59,6 +75,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -67,10 +84,12 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/bsp"
+	"repro/internal/dist"
 	"repro/internal/proto"
 	"repro/internal/relation"
 	"repro/internal/serve"
@@ -87,7 +106,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	protoAddr := flag.String("proto-addr", "", "binary query protocol listen address (empty = HTTP only)")
 	sessions := flag.Int("sessions", 4, "session pool size per graph generation (max simultaneous queries on one epoch; during a write burst, in-flight totals can transiently reach live_generations x this)")
-	workers := flag.Int("workers", 1, "BSP workers per session")
+	bspWorkers := flag.Int("bsp-workers", 1, "BSP worker threads per session (local parallelism)")
+	distWorkers := flag.Int("workers", 0, "serve as the coordinator of a distributed cluster with this many worker processes (0 = single-process serving)")
+	workerOf := flag.String("worker", "", "join the cluster coordinated at this address as a worker node (excludes most other flags)")
+	distAddr := flag.String("dist-addr", ":0", "cluster listen address in -workers mode (printed as listening dist://<addr>)")
 	readonly := flag.Bool("readonly", false, "disable the /write endpoint")
 	prepared := flag.Int("prepared", 1024, "prepared-statement cache entries (LRU)")
 	walDir := flag.String("wal", "", "write-ahead log directory (empty = memory-only): replay on boot, append while serving")
@@ -103,6 +125,22 @@ func main() {
 	flag.Var(&pins, "pin", "pin a query at boot: the server keeps its answer current across writes (incrementally when eligible); repeatable, and one flag may carry several statements separated by ';'")
 	verifyInc := flag.Bool("verify-incremental", false, "cross-check every incrementally folded pinned-query answer against a cold re-run on the write path (correctness harness; counts incremental_mismatches)")
 	flag.Parse()
+
+	if *workerOf != "" {
+		if *distWorkers > 0 {
+			fmt.Fprintln(os.Stderr, "-worker and -workers are mutually exclusive")
+			os.Exit(2)
+		}
+		runWorker(*workerOf, *addr, *bspWorkers)
+		return
+	}
+	if *distWorkers > 0 {
+		if len(pins) > 0 || *walDir != "" || *ckptEvery > 0 || *ckptBytes > 0 {
+			fmt.Fprintln(os.Stderr, "-workers (distributed serving) is read-only and memory-only: it refuses -pin, -wal and the checkpoint flags")
+			os.Exit(2)
+		}
+		*readonly = true
+	}
 
 	walPolicy, err := wal.ParsePolicy(*walSync)
 	if err != nil {
@@ -147,9 +185,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// Coordinator mode: open the cluster port and admit workers in the
+	// background while the serve layer comes up; queries block until the
+	// topology forms. The builder hands every in-process reference the
+	// already-built graph.
+	var coord *dist.Coordinator
+	if *distWorkers > 0 {
+		coord, err = dist.Listen(*distAddr, dist.Config{
+			Parts: *distWorkers + 1, DB: *workload, Scale: *scale, Seed: *seed,
+			Workers: *bspWorkers,
+		}, func(string, float64, int64) (*tag.Graph, error) { return g, nil })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("listening dist://%s\n", coord.Addr())
+		go func() {
+			if err := coord.WaitReady(); err != nil {
+				fmt.Fprintf(os.Stderr, "cluster formation: %v\n", err)
+				return
+			}
+			fmt.Printf("tagserve: cluster up (%d workers + coordinator)\n", *distWorkers)
+		}()
+	}
 	srv, err := serve.Open(g, serve.Options{
 		Sessions:             *sessions,
-		Engine:               bsp.Options{Workers: *workers, AdaptiveCombine: *adaptive},
+		Engine:               bsp.Options{Workers: *bspWorkers, AdaptiveCombine: *adaptive},
+		Dist:                 coord,
 		PreparedLimit:        *prepared,
 		WALDir:               *walDir,
 		WALSync:              walPolicy,
@@ -189,6 +251,9 @@ func main() {
 	if *readonly {
 		mode = "read-only"
 		handler = serve.ReadOnlyHandler(srv)
+	}
+	if coord != nil {
+		mode = fmt.Sprintf("distributed (%d workers + coordinator, read-only)", *distWorkers)
 	}
 	durability := "memory-only"
 	if *walDir != "" {
@@ -234,11 +299,115 @@ func main() {
 		// live connections; clients see EOF and reconnect elsewhere.
 		ps.Close()
 	}
+	if coord != nil {
+		// SHUTDOWN the workers so their processes exit cleanly too.
+		coord.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Println("tagserve: clean shutdown")
+}
+
+// runWorker is -worker mode: join the coordinator, build the identical
+// graph from the dataset triple it relays, and serve the cluster's
+// query plane. The local HTTP listener answers only /healthz and
+// /stats (queries flow through the coordinator). The process exits 0
+// on a clean cluster SHUTDOWN; on a cluster failure it leaves the
+// query plane but keeps /healthz alive for inspection until SIGTERM —
+// a degraded cluster's survivors are diagnosable, not gone.
+func runWorker(coordAddr, httpAddr string, bspWorkers int) {
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening http://%s\n", ln.Addr())
+
+	build := func(db string, scale float64, seed int64) (*tag.Graph, error) {
+		var cat *relation.Catalog
+		switch db {
+		case "tpch":
+			cat = tpch.Generate(scale, seed)
+		case "tpcds":
+			cat = tpcds.Generate(scale, seed)
+		default:
+			return nil, fmt.Errorf("coordinator names unknown db %q", db)
+		}
+		return tag.Build(cat, nil)
+	}
+	// Serve /healthz before joining: topology formation blocks until
+	// every worker has joined, and a worker that is only health-checkable
+	// after formation deadlocks any harness that starts workers one at a
+	// time and waits for each to come up.
+	var wp atomic.Pointer[dist.Worker]
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("/stats", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		w := wp.Load()
+		if w == nil {
+			json.NewEncoder(rw).Encode(struct {
+				Joining bool `json:"joining"`
+			}{true})
+			return
+		}
+		var errStr string
+		if err := w.Err(); err != nil {
+			errStr = err.Error()
+		}
+		json.NewEncoder(rw).Encode(struct {
+			Part  int            `json:"part"`
+			Parts int            `json:"parts"`
+			Err   string         `json:"err,omitempty"`
+			Wire  dist.WireStats `json:"wire"`
+		}{w.Part(), w.Parts(), errStr, w.Wire()})
+	})
+	hs := &http.Server{Handler: mux}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- hs.Serve(ln) }()
+
+	start := time.Now()
+	w, err := dist.Join(coordAddr, bspWorkers, build)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	wp.Store(w)
+	fmt.Printf("tagserve: worker %d of %d joined %s in %v\n",
+		w.Part(), w.Parts(), coordAddr, time.Since(start).Round(time.Millisecond))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	waitc := make(chan error, 1)
+	go func() { waitc <- w.Wait() }()
+	for {
+		select {
+		case err := <-waitc:
+			waitc = nil // fire once
+			if err == nil {
+				fmt.Println("tagserve: worker shut down cleanly")
+				hs.Close()
+				return
+			}
+			// Stay alive for /healthz and /stats; only SIGTERM ends us.
+			fmt.Fprintf(os.Stderr, "tagserve: worker left the query plane: %v\n", err)
+		case sig := <-sigc:
+			fmt.Printf("tagserve: %v, shutting down\n", sig)
+			w.Close()
+			hs.Close()
+			return
+		case err := <-httpDone:
+			if !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 }
 
 // pinFlags collects -pin values: the flag is repeatable, and each value

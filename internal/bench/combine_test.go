@@ -14,8 +14,12 @@ import (
 // every TPC-H query under a simulated partitioning must produce
 // byte-identical answers (same rows in the same order) and exactly
 // equal paper-facing cost measures whether the message plane folds
-// aggregator-bound sends or materializes every message. The fold
-// itself must show up on the aggregate-heavy suite.
+// aggregator-bound sends or materializes every message — except the
+// network counters, which price the sealed wire frames and therefore
+// legitimately differ: folding's entire purpose is to put fewer
+// records on the wire. For those the check is directional (combined
+// never ships more records). The fold itself must show up on the
+// aggregate-heavy suite.
 func TestCombinedMatchesUncombinedTPCH(t *testing.T) {
 	cat := generate("tpch", 0.2, 2021)
 	g, err := tag.Build(cat, nil)
@@ -41,7 +45,13 @@ func TestCombinedMatchesUncombinedTPCH(t *testing.T) {
 			t.Errorf("%s: combined answer differs from uncombined (rows or order)", q.ID)
 		}
 		ps, cs := plain.Stats(), combined.Stats()
-		if ps.Paper() != cs.Paper() {
+		pp, cp := ps.Paper(), cs.Paper()
+		if cp.NetworkMessages > pp.NetworkMessages {
+			t.Errorf("%s: combining increased wire records: %d > %d", q.ID, cp.NetworkMessages, pp.NetworkMessages)
+		}
+		pp.NetworkMessages, pp.NetworkBytes = 0, 0
+		cp.NetworkMessages, cp.NetworkBytes = 0, 0
+		if pp != cp {
 			t.Errorf("%s: paper-facing stats differ:\n  plain    %v\n  combined %v", q.ID, ps, cs)
 		}
 		if ps.MessagesCombined != 0 {

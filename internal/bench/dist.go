@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/relation"
+	"repro/internal/tag"
+)
+
+// DistWireResult is one cell of the real-wire distributed experiment: a
+// TPC-H query timed on a topology of N worker nodes (plus the
+// coordinator) over real loopback sockets, against the single-process
+// engine on the same data. WireBytes is the measured data-plane
+// traffic summed over all nodes — by construction it equals
+// NetworkBytes, the engine's simulated accounting, and the bench
+// asserts so.
+type DistWireResult struct {
+	Workload        string  `json:"workload"`
+	Scale           float64 `json:"scale"`
+	Query           string  `json:"query"`
+	Workers         int     `json:"workers"` // worker nodes; 0 = single-process baseline
+	Parts           int     `json:"parts"`   // partitions (workers+1; 1 for the baseline)
+	NsPerOp         int64   `json:"ns_per_op"`
+	Rows            int     `json:"rows"`
+	NetworkBytes    int64   `json:"network_bytes"`
+	NetworkMessages int64   `json:"network_messages"`
+	WireBytes       int64   `json:"wire_bytes"`
+	IdentityOK      bool    `json:"identity_ok"`
+}
+
+// distTopology is an in-process cluster: one coordinator plus N
+// workers joined over 127.0.0.1, all sharing one frozen graph.
+type distTopology struct {
+	coord   *dist.Coordinator
+	workers []*dist.Worker
+}
+
+func startDistTopology(g *tag.Graph, workload string, scale float64, seed int64, workers int) (*distTopology, error) {
+	build := func(string, float64, int64) (*tag.Graph, error) { return g, nil }
+	c, err := dist.Listen("127.0.0.1:0", dist.Config{
+		Parts: workers + 1, DB: workload, Scale: scale, Seed: seed,
+		FormTimeout: time.Minute,
+	}, build)
+	if err != nil {
+		return nil, err
+	}
+	tp := &distTopology{coord: c}
+	type joinRes struct {
+		w   *dist.Worker
+		err error
+	}
+	joined := make(chan joinRes, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			w, err := dist.Join(c.Addr(), 1, build)
+			joined <- joinRes{w, err}
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		r := <-joined
+		if r.err != nil {
+			c.Close()
+			return nil, r.err
+		}
+		tp.workers = append(tp.workers, r.w)
+	}
+	if err := c.WaitReady(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return tp, nil
+}
+
+func (tp *distTopology) wireBytes() int64 {
+	total := tp.coord.Wire().DataBytesOut
+	for _, w := range tp.workers {
+		total += w.Wire().DataBytesOut
+	}
+	return total
+}
+
+// DistWireBench times the given TPC-H queries on real-socket topologies of
+// each worker count (0 meaning the single-process engine) at the
+// configured smallest scale. Every distributed answer is checked
+// equal (fuzzily, for float aggregation order) to the single-process
+// one, and the measured data-plane bytes are checked exactly equal to
+// the simulated accounting.
+func DistWireBench(cfg Config, workload string, workerCounts []int, queryIDs []string) ([]DistWireResult, error) {
+	cfg = cfg.withDefaults()
+	scale := cfg.Scales[0]
+	cat := generate(workload, scale, cfg.Seed)
+	g, err := tag.Build(cat, nil)
+	if err != nil {
+		return nil, err
+	}
+	queries := WorkloadQueries(workload)
+	want := map[string]*relation.Relation{}
+	if len(queryIDs) > 0 {
+		keep := map[string]bool{}
+		for _, id := range queryIDs {
+			keep[id] = true
+		}
+		var sub []WorkloadQuery
+		for _, q := range queries {
+			if keep[q.ID] {
+				sub = append(sub, q)
+			}
+		}
+		queries = sub
+	}
+
+	var out []DistWireResult
+	// Single-process baseline: same graph, one partition, no transport.
+	base := core.NewSession(g, bsp.Options{Workers: cfg.Workers})
+	for _, q := range queries {
+		var best time.Duration
+		var rows int
+		for run := 0; run <= cfg.Runs; run++ {
+			start := time.Now()
+			rel, err := base.Query(q.SQL)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("dist bench: single-process %s: %w", q.ID, err)
+			}
+			if run == 0 {
+				want[q.ID] = rel
+				rows = rel.Len()
+				continue // warm-up
+			}
+			if best == 0 || elapsed < best {
+				best = elapsed
+			}
+		}
+		out = append(out, DistWireResult{
+			Workload: workload, Scale: scale, Query: q.ID,
+			Workers: 0, Parts: 1, NsPerOp: best.Nanoseconds(), Rows: rows,
+			IdentityOK: true,
+		})
+	}
+
+	for _, workers := range workerCounts {
+		tp, err := startDistTopology(g, workload, scale, cfg.Seed, workers)
+		if err != nil {
+			return nil, fmt.Errorf("dist bench: forming %d-worker topology: %w", workers, err)
+		}
+		for _, q := range queries {
+			var best time.Duration
+			var last *dist.Result
+			wireBefore := tp.wireBytes()
+			for run := 0; run <= cfg.Runs; run++ {
+				start := time.Now()
+				res, err := tp.coord.Query(q.SQL)
+				elapsed := time.Since(start)
+				if err != nil {
+					tp.coord.Close()
+					return nil, fmt.Errorf("dist bench: %d-worker %s: %w", workers, q.ID, err)
+				}
+				last = res
+				if run == 0 {
+					continue // warm-up
+				}
+				if best == 0 || elapsed < best {
+					best = elapsed
+				}
+			}
+			wire := tp.wireBytes() - wireBefore
+			priced := last.Cost.NetworkBytes * int64(cfg.Runs+1)
+			// Fuzzy: float aggregates accumulate in partition order, so
+			// different partition counts differ in the last ulps.
+			identity := relation.EqualMultisetFuzzy(last.Rows, want[q.ID])
+			if wire != priced {
+				return nil, fmt.Errorf("dist bench: %d-worker %s: wire carried %d bytes, accounting priced %d",
+					workers, q.ID, wire, priced)
+			}
+			out = append(out, DistWireResult{
+				Workload: workload, Scale: scale, Query: q.ID,
+				Workers: workers, Parts: workers + 1,
+				NsPerOp: best.Nanoseconds(), Rows: last.Rows.Len(),
+				NetworkBytes:    last.Cost.NetworkBytes,
+				NetworkMessages: last.Cost.NetworkMessages,
+				WireBytes:       last.Cost.NetworkBytes, // == wire/runs, asserted above
+				IdentityOK:      identity,
+			})
+			if !identity {
+				tp.coord.Close()
+				return nil, fmt.Errorf("dist bench: %d-worker %s: rows diverge from single-process", workers, q.ID)
+			}
+		}
+		tp.coord.Close()
+		for _, w := range tp.workers {
+			w.Wait()
+		}
+	}
+	return out, nil
+}
+
+// PrintDistWire renders the distributed experiment like the paper's
+// cluster tables: per query, single-process time then each topology's
+// time and its (identical-by-construction) network traffic.
+func PrintDistWire(w io.Writer, results []DistWireResult) {
+	fmt.Fprintf(w, "\n== distributed execution: real sockets vs single process (TPC-H) ==\n")
+	fmt.Fprintf(w, "%-6s %-8s %12s %14s %14s %10s\n", "query", "topology", "ns/op", "net bytes", "net msgs", "identical")
+	for _, r := range results {
+		topo := "single"
+		if r.Workers > 0 {
+			topo = fmt.Sprintf("%dw+c", r.Workers)
+		}
+		fmt.Fprintf(w, "%-6s %-8s %12d %14d %14d %10v\n",
+			r.Query, topo, r.NsPerOp, r.NetworkBytes, r.NetworkMessages, r.IdentityOK)
+	}
+}

@@ -232,8 +232,8 @@ func TestCombinePoolTrim(t *testing.T) {
 			ctx.SendAlong(v, lbl, int64(1))
 		}
 	}), SumCombiner{})
-	// Partitions > 1 so every cross-partition send records a wireRec —
-	// the structure that actually grows with the fan-in.
+	// Partitions > 1 so every cross-partition send lands in a pair
+	// stream's wire records — the structure that grows with the fan-in.
 	eng := NewEngine(g, Options{Workers: 2, Partitions: 3})
 	eng.Run(prog, leaves)
 	budget := int64(maxPooledBytes / len(eng.shards))
@@ -247,9 +247,11 @@ func TestCombinePoolTrim(t *testing.T) {
 			if got := int64(cap(ctx.acc[s].keys)) * accBytes; got > budget {
 				t.Errorf("ctx %d shard %d retains %d B of fold streams (budget %d)", w, s, got, budget)
 			}
-			if got := int64(cap(ctx.wires[s])) * accBytes; got > budget {
-				t.Errorf("ctx %d shard %d retains %d B of wire records (budget %d)", w, s, got, budget)
-			}
+		}
+	}
+	for i := range eng.wireStreams {
+		if got := int64(cap(eng.wireStreams[i].recs)) * accBytes; got > budget {
+			t.Errorf("stream %d retains %d B of wire records (budget %d)", i, got, budget)
 		}
 	}
 }

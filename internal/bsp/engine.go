@@ -79,12 +79,15 @@ func (f ProgramFunc) Compute(ctx *Context, v VertexID, inbox []Message) { f(ctx,
 // sparse inbox carries at most one Message per (active vertex, slot).
 //
 // The fold must be insensitive to regrouping of the send stream
-// (commutative/associative in spirit), but the engine never actually
-// reorders it: payloads are folded in exactly the (worker, send) order
-// the uncombined plane would have delivered them in, so a Combiner
-// that mirrors the receiving vertex's own left-fold produces
-// byte-identical results even for order-sensitive operations like
-// float addition.
+// (commutative/associative in spirit). Within one partition the engine
+// never reorders it — payloads fold in exactly the (worker, send) order
+// the uncombined plane would have delivered them in — but across
+// partitions each source partition folds its own share of a stream
+// independently and the shares are Merged at the receiver, so a
+// Combiner whose result depends on how an order-preserving send
+// sequence is cut into contiguous runs (e.g. naive float addition)
+// must defer the order-sensitive part to Merge time, the way the SQL
+// layer's partial-group combiner does.
 //
 // Fold and Merge are called concurrently from different workers, but
 // always on distinct accumulators; implementations must not keep
@@ -183,15 +186,32 @@ type Options struct {
 	Workers int
 	// MaxSupersteps guards against runaway programs; defaults to 100000.
 	MaxSupersteps int
-	// Partitions simulates a distributed cluster: messages whose source
-	// and destination vertices live on different partitions are counted
-	// as network traffic. Defaults to 1 (single machine).
+	// Partitions hash-partitions the graph across N machines: messages
+	// whose source and destination vertices live on different partitions
+	// are built into wire records, sealed into per-partition-pair frames
+	// and priced as network traffic. Defaults to 1 (single machine).
+	// Whether those frames actually cross a socket is the Transport's
+	// business — the accounting path is the same either way.
 	Partitions int
 	// PartitionOf overrides the default hash partitioner.
 	PartitionOf func(VertexID) int
-	// PayloadSize estimates the wire size of a message payload in bytes;
-	// defaults to 8 bytes per payload.
+	// PayloadSize estimates the in-memory size of a message payload in
+	// bytes for the MessageBytes measure; defaults to 8 bytes per
+	// payload. Network bytes are not estimated: at Partitions > 1 they
+	// are counted from the actual encoded wire frames.
 	PayloadSize func(any) int
+	// Transport carries the sealed cross-partition frames. Defaults to
+	// Loopback(Partitions) when Partitions > 1: the single-process
+	// simulation, where frames are priced and dropped while delivery
+	// stays in memory. A transport whose Local() >= 0 puts the engine in
+	// distributed mode: it computes only its own partition's vertices,
+	// really exchanges the frames, and synchronizes barriers and emitted
+	// values with the other nodes.
+	Transport Transport
+	// Codec encodes message payloads for the wire records; defaults to
+	// BasicCodec. Layers with richer payload vocabularies must install
+	// their own codec or cross-partition runs fail with a typed error.
+	Codec PayloadCodec
 	// SerialMerge runs the communication stage on a single goroutine
 	// (the pre-sharding engine behavior). Delivery order, Emit output
 	// and every Stats field are identical either way — the flag exists
@@ -236,6 +256,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PayloadSize == nil {
 		o.PayloadSize = func(any) int { return 8 }
+	}
+	if o.Codec == nil {
+		o.Codec = BasicCodec{}
+	}
+	if o.Transport == nil && o.Partitions > 1 {
+		o.Transport = Loopback(o.Partitions)
+	}
+	if o.Transport != nil && o.Transport.Local() >= 0 {
+		// Distributed nodes must make identical combine decisions; the
+		// adaptive gate samples local fold rates, so it stays off.
+		o.AdaptiveCombine = false
 	}
 	return o
 }
@@ -315,29 +346,16 @@ type outMsg struct {
 	payload  any
 }
 
-// wire is the network-dedup key: identical payloads from one source
-// vertex to one destination machine cross the interconnect once and fan
-// out locally (a per-machine message combiner).
-type wire struct {
-	from VertexID
-	part int
-	pay  any
-}
-
-// wireRec is a logical cross-partition send recorded at Send time when
-// the payload folds into an accumulator (the dedup set is per-shard, so
-// the owning merge worker applies the record at the barrier). The size
-// is captured before folding can mutate the payload.
-type wireRec struct {
-	w  wire
-	sz int64
-}
-
-// accKey identifies one fold stream: a destination vertex and the
-// combiner-assigned slot.
+// accKey identifies one fold stream: a destination vertex, the
+// combiner-assigned slot, and the sender's partition. Splitting streams
+// by source partition is what makes a fold stream shippable — each
+// partition's share of a stream is exactly the folded accumulator that
+// partition would put on the wire as one record. At Partitions == 1
+// src is always 0 and the key degenerates to (to, slot).
 type accKey struct {
 	to   VertexID
 	slot int32
+	src  int32
 }
 
 // accEntry is one running fold: the first sender (the From of the
@@ -396,11 +414,6 @@ type mergeShard struct {
 	// free recycles message buffers across supersteps and Runs, so a
 	// steady-state superstep allocates ~nothing.
 	free [][]Message
-	// sent is the per-shard network dedup set. It is globally exact
-	// because shardOf routes every vertex of one simulated partition to
-	// the same shard, so no (source, destination-machine, payload)
-	// triple is ever split across shards.
-	sent map[wire]bool
 	// accIdx/pend/pendKeys fold colliding per-worker accumulators at
 	// the barrier (combined plane only): pend holds the surviving
 	// accumulator per fold stream in first-seen (worker, send) order,
@@ -408,6 +421,13 @@ type mergeShard struct {
 	accIdx   map[accKey]int32
 	pend     []accEntry
 	pendKeys []accKey
+	// encBuf is the shard's payload-encoding scratch for wire records;
+	// pairStream.add copies out of it.
+	encBuf []byte
+	// err records a codec failure during the merge (an unregistered
+	// payload type crossing a partition boundary); surfaced through
+	// Engine.RunErr.
+	err error
 	// stats is this shard's share of the superstep's message
 	// accounting; the coordinator folds it into Engine.stats at the
 	// barrier.
@@ -518,6 +538,33 @@ type Engine struct {
 	emits  []any
 	halted bool
 
+	// localPart is the partition this engine owns in a distributed run,
+	// -1 when the engine owns every partition (single-process, loopback).
+	localPart int
+	// wireStreams holds the per-(src, dst) partition-pair wire-record
+	// streams of the current superstep, indexed src*Partitions+dst; nil
+	// at Partitions == 1. The shard that owns dst is the only writer of
+	// (·, dst) during the merge.
+	wireStreams []pairStream
+	// frames is the per-superstep sealed-frame scratch handed to the
+	// Transport.
+	frames []Frame
+	// emitTags parallels emits with (step, vertex) tags in distributed
+	// mode, so the nodes' emit streams can be allgathered back into the
+	// exact single-process order.
+	emitTags []emitTag
+	// baggs is the local aggregator scratch a distributed barrier sends.
+	baggs map[string]int64
+	// runErr is the first Context.Fail error of the current Run (in a
+	// distributed run, the globally agreed first); reset per Run.
+	runErr error
+	// distErr latches a transport failure: the distributed engine is
+	// permanently failed and every subsequent Run refuses immediately.
+	distErr error
+	// touched lists inboxes that received remote records this superstep
+	// and need their delivery order restored (distributed mode only).
+	touched []VertexID
+
 	// Profiling (Options.Profile): peak resident inbox bytes observed
 	// at any barrier, and cumulative communication-stage wall time.
 	peakInbox int64
@@ -566,11 +613,18 @@ func NewEngine(g *Graph, opts Options) *Engine {
 	}
 	opts = opts.withDefaults()
 	e := &Engine{
-		g:      g,
-		opts:   opts,
-		shards: make([]mergeShard, opts.Workers),
-		ctxs:   make([]*Context, opts.Workers),
-		aggs:   make(map[string]int64),
+		g:         g,
+		opts:      opts,
+		shards:    make([]mergeShard, opts.Workers),
+		ctxs:      make([]*Context, opts.Workers),
+		aggs:      make(map[string]int64),
+		localPart: -1,
+	}
+	if opts.Transport != nil {
+		e.localPart = opts.Transport.Local()
+	}
+	if opts.Partitions > 1 {
+		e.wireStreams = make([]pairStream, opts.Partitions*opts.Partitions)
 	}
 	for s := range e.shards {
 		e.shards[s].in = make(map[VertexID][]Message)
@@ -578,21 +632,27 @@ func NewEngine(g *Graph, opts Options) *Engine {
 	}
 	for w := range e.ctxs {
 		e.ctxs[w] = &Context{
-			eng:   e,
-			out:   make([][]outMsg, opts.Workers),
-			acc:   make([]ctxAcc, opts.Workers),
-			wires: make([][]wireRec, opts.Workers),
-			aggs:  make(map[string]int64),
+			eng:  e,
+			out:  make([][]outMsg, opts.Workers),
+			acc:  make([]ctxAcc, opts.Workers),
+			aggs: make(map[string]int64),
 		}
 	}
 	return e
 }
 
+// stream returns the wire-record stream for the ordered partition pair
+// (src, dst). Only the merge worker that owns dst's shard writes it.
+func (e *Engine) stream(src, dst int) *pairStream {
+	return &e.wireStreams[src*e.opts.Partitions+dst]
+}
+
 // shardOf maps a destination vertex to the merge shard that owns it.
-// Under a simulated partitioning the shard is derived from the vertex's
-// partition, so each simulated machine is owned by exactly one shard —
-// that keeps the per-shard network dedup globally exact. Otherwise
-// vertices are striped over shards directly.
+// Under a partitioned run the shard is derived from the vertex's
+// partition, so each partition's inbound wire streams are owned by
+// exactly one shard — that keeps the per-(src, dst) record streams
+// single-writer without locks. Otherwise vertices are striped over
+// shards directly.
 func (e *Engine) shardOf(v VertexID) int {
 	n := len(e.shards)
 	if n == 1 {
@@ -694,6 +754,7 @@ func (e *Engine) startWorkers(prog Program) {
 					e.mergeShard(j.shard)
 				} else {
 					for _, v := range j.verts {
+						j.ctx.cur = v
 						prog.Compute(j.ctx, v, e.inboxOf(v))
 					}
 				}
@@ -755,8 +816,12 @@ func (e *Engine) MergeDuration() time.Duration { return time.Duration(e.mergeNs)
 // is active, the master halts, or MaxSupersteps is reached. It returns the
 // stats for this run only (engine totals keep accumulating).
 func (e *Engine) Run(prog Program, initial []VertexID) Stats {
+	if e.localPart >= 0 {
+		return e.runDist(prog, initial)
+	}
 	before := e.stats
 	e.halted = false
+	e.runErr = nil
 	e.emits = e.emits[:0]
 
 	// The graph may have grown since the engine was created (incremental
@@ -823,6 +888,7 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 			ctx.step = step
 			if workers == 1 {
 				for _, v := range active {
+					ctx.cur = v
 					prog.Compute(ctx, v, e.inboxOf(v))
 				}
 				break
@@ -859,6 +925,13 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 			}
 		}
 
+		// Seal this superstep's pair streams into frames, price them and
+		// hand them to the Transport — the loopback simulation and the
+		// real wire share this one accounting path.
+		if e.opts.Partitions > 1 {
+			e.sealAndExchange(step)
+		}
+
 		// Barrier: fold per-shard accounting, swap the message planes,
 		// and collect the next active set.
 		active = active[:0]
@@ -866,6 +939,12 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 			sh := &e.shards[s]
 			e.stats.Add(sh.stats)
 			sh.stats = Stats{}
+			if sh.err != nil {
+				if e.runErr == nil {
+					e.runErr = sh.err
+				}
+				sh.err = nil
+			}
 			sh.in, sh.next = sh.next, sh.in
 			sh.inKeys, sh.nextKeys = sh.nextKeys, sh.inKeys
 			active = append(active, sh.inKeys...)
@@ -883,12 +962,21 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 			ctx.emits = ctx.emits[:0]
 			e.stats.ComputeOps += ctx.ops
 			ctx.ops = 0
+			if ctx.failErr != nil {
+				if e.runErr == nil {
+					e.runErr = ctx.failErr
+				}
+				ctx.failErr = nil
+			}
 			// Send-time accounting of combined sends (uncombined sends
 			// are accounted by the shard merge).
 			e.stats.Add(ctx.stats)
 			ctx.stats = Stats{}
 		}
 		slices.Sort(active)
+		if e.runErr != nil {
+			break
+		}
 
 		// Adaptive combiner gate: with enough sends observed this run and
 		// almost none of them folding, the accumulator plane is pure
@@ -924,9 +1012,12 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 	for _, ctx := range e.ctxs {
 		for s := range ctx.acc {
 			ctx.acc[s].trim(budget)
-			if int64(cap(ctx.wires[s]))*accBytes > budget {
-				ctx.wires[s] = nil
-			}
+		}
+	}
+	for i := range e.wireStreams {
+		ps := &e.wireStreams[i]
+		if int64(cap(ps.recs))*accBytes > budget {
+			ps.recs = nil
 		}
 	}
 	e.active = active
@@ -934,63 +1025,122 @@ func (e *Engine) Run(prog Program, initial []VertexID) Stats {
 	return e.stats.Sub(before)
 }
 
+// RunErr reports the first failure of the most recent Run: a
+// Context.Fail from a vertex program, a codec error on a
+// cross-partition payload — or, sticky across Runs, a transport
+// failure that has permanently degraded a distributed engine.
+func (e *Engine) RunErr() error {
+	if e.distErr != nil {
+		return e.distErr
+	}
+	return e.runErr
+}
+
+// DistErr reports the sticky transport failure that has permanently
+// degraded this distributed engine, or nil while the transport is
+// healthy. A program failure (Context.Fail, codec error) never sets
+// it — those engines stay usable for the next Run. Orchestration
+// layers use it to tell "this query failed" from "this node can no
+// longer participate in the topology".
+func (e *Engine) DistErr() error { return e.distErr }
+
+// sealAndExchange seals every ordered partition pair's stream of the
+// superstep into one frame (empty streams included — the
+// synchronization frame crosses the wire every superstep), prices the
+// sealed bytes into the network accounting, and hands the frames to
+// the Transport. Loopback drops them: delivery already happened
+// in-process; the frames existed to be priced. Runs on the Run
+// goroutine, after the merge barrier.
+func (e *Engine) sealAndExchange(step int) {
+	p := e.opts.Partitions
+	e.frames = e.frames[:0]
+	for src := 0; src < p; src++ {
+		for dst := 0; dst < p; dst++ {
+			if src == dst {
+				continue
+			}
+			ps := e.stream(src, dst)
+			payload := sealRecords(step, ps.recs)
+			e.stats.NetworkMessages += int64(len(ps.recs))
+			e.stats.NetworkBytes += int64(frameHeaderBytes + len(payload))
+			e.frames = append(e.frames, Frame{Src: src, Dst: dst, Payload: payload})
+			ps.reset()
+		}
+	}
+	if _, err := e.opts.Transport.Exchange(step, e.frames); err != nil && e.runErr == nil {
+		e.runErr = err
+	}
+}
+
 // mergeShard runs the communication stage for one shard: recycle the
 // inbox entries this shard's vertices consumed during the superstep,
 // then deliver every worker's outbox slice for this shard, in worker
-// order. Network accounting batches identical payloads from one source
-// to one destination machine into a single wire transfer, as BSP
-// engines' per-machine message combiners do: the payload crosses the
-// interconnect once and fans out locally.
+// order. At Partitions > 1 every cross-partition send is also encoded
+// into its (src, dst) pair stream — consecutive identical payloads from
+// one sender dedup into a single record that fans out on the receiving
+// side, as BSP engines' per-machine message combiners do: the payload
+// crosses the interconnect once.
 func (e *Engine) mergeShard(s int) {
 	sh := &e.shards[s]
 	sh.recycleIn()
 	partitions := e.opts.Partitions
-	if partitions > 1 {
-		if sh.sent == nil {
-			sh.sent = make(map[wire]bool)
-		} else {
-			clear(sh.sent)
-		}
-	}
+	local := e.localPart
 	for _, ctx := range e.ctxs {
 		msgs := ctx.out[s]
 		for i := range msgs {
 			m := &msgs[i]
-			buf, ok := sh.next[m.to]
-			if !ok {
-				buf = sh.getBuf()
-				sh.nextKeys = append(sh.nextKeys, m.to)
-			}
-			sh.next[m.to] = append(buf, Message{From: m.from, Count: 1, Payload: m.payload})
-			sz := int64(e.opts.PayloadSize(m.payload))
 			sh.stats.Messages++
-			sh.stats.MessageBytes += sz
-			if partitions > 1 && e.opts.PartitionOf(m.from) != e.opts.PartitionOf(m.to) {
-				w := wire{from: m.from, part: e.opts.PartitionOf(m.to), pay: m.payload}
-				if !sh.sent[w] {
-					sh.sent[w] = true
-					sh.stats.NetworkMessages++
-					sh.stats.NetworkBytes += sz
+			sh.stats.MessageBytes += int64(e.opts.PayloadSize(m.payload))
+			deliver := true
+			if partitions > 1 {
+				srcP, dstP := e.opts.PartitionOf(m.from), e.opts.PartitionOf(m.to)
+				if srcP != dstP {
+					enc, err := e.opts.Codec.Append(sh.encBuf[:0], m.payload)
+					if err != nil {
+						if sh.err == nil {
+							sh.err = err
+						}
+					} else {
+						sh.encBuf = enc
+						e.stream(srcP, dstP).add(m.from, -1, enc, m.to, 1)
+					}
 				}
+				// A distributed node delivers only its own partition's
+				// messages locally; the rest exist as wire records.
+				deliver = local < 0 || dstP == local
+			}
+			if deliver {
+				buf, ok := sh.next[m.to]
+				if !ok {
+					buf = sh.getBuf()
+					sh.nextKeys = append(sh.nextKeys, m.to)
+				}
+				sh.next[m.to] = append(buf, Message{From: m.from, Count: 1, Payload: m.payload})
 			}
 			msgs[i] = outMsg{} // release payload references held by the outbox
 		}
 		ctx.out[s] = msgs[:0]
 	}
 	if e.comb != nil {
-		e.mergeCombined(s, sh)
+		e.foldAccs(s, sh)
+		if local >= 0 {
+			// Distributed: the exchange stage records, ships and merges
+			// remote accumulators before flushPend delivers.
+			return
+		}
+		if partitions > 1 {
+			e.recordPend(sh)
+		}
+		e.flushPend(sh)
 	}
 }
 
-// mergeCombined is the combined plane's half of the communication
-// stage for one shard: fold the workers' per-(destination, slot)
-// accumulators — colliding streams merge in worker order, exactly the
-// order the uncombined plane would have delivered in — apply the
-// cross-partition wire records recorded at Send time, and deliver one
-// Message per surviving fold stream. Combined messages land after any
-// plain (slot < 0) messages for the same destination.
-func (e *Engine) mergeCombined(s int, sh *mergeShard) {
-	partitions := e.opts.Partitions
+// foldAccs is the first half of the combined plane's communication
+// stage: fold the workers' per-(destination, slot, source partition)
+// accumulators into the shard's pending table — colliding streams merge
+// in worker order, exactly the order the uncombined plane would have
+// delivered in.
+func (e *Engine) foldAccs(s int, sh *mergeShard) {
 	for _, ctx := range e.ctxs {
 		a := &ctx.acc[s]
 		for i := range a.keys {
@@ -1018,17 +1168,77 @@ func (e *Engine) mergeCombined(s int, sh *mergeShard) {
 		if len(a.idx) > 0 {
 			clear(a.idx)
 		}
-		wr := ctx.wires[s]
-		for i := range wr {
-			if partitions > 1 && !sh.sent[wr[i].w] {
-				sh.sent[wr[i].w] = true
-				sh.stats.NetworkMessages++
-				sh.stats.NetworkBytes += wr[i].sz
-			}
-			wr[i] = wireRec{}
-		}
-		ctx.wires[s] = wr[:0]
 	}
+}
+
+// recordPend runs between fold and flush on a loopback (single-process,
+// Partitions > 1) engine: every cross-partition fold stream is encoded
+// into its (src, dst) pair stream — one record carrying the folded
+// accumulator, exactly what a real node ships — and then streams for
+// the same (destination, slot) from different source partitions are
+// re-merged so delivery matches the single-partition engine. The same
+// Merge calls happen on a real receiving node when remote records
+// arrive, so the fold trees agree.
+func (e *Engine) recordPend(sh *mergeShard) {
+	for i := range sh.pend {
+		k := sh.pendKeys[i]
+		dstP := e.opts.PartitionOf(k.to)
+		if int(k.src) == dstP {
+			continue
+		}
+		p := &sh.pend[i]
+		enc, err := e.opts.Codec.Append(sh.encBuf[:0], p.pay)
+		if err != nil {
+			if sh.err == nil {
+				sh.err = err
+			}
+			continue
+		}
+		sh.encBuf = enc
+		e.stream(int(k.src), dstP).add(p.from, k.slot, enc, k.to, p.count)
+	}
+	// Re-merge streams split by source partition: keep the first-seen
+	// entry per (destination, slot), Merge later ones in, preserving
+	// first-seen order — the per-(to, slot) fold count comes out the
+	// same as the single-partition engine's.
+	if len(sh.accIdx) > 0 {
+		clear(sh.accIdx)
+	}
+	out := 0
+	for i := range sh.pend {
+		k := sh.pendKeys[i]
+		k.src = -1
+		if j, ok := sh.accIdx[k]; ok {
+			tgt := &sh.pend[j]
+			tgt.pay = e.comb.Merge(tgt.pay, sh.pend[i].pay)
+			tgt.count += sh.pend[i].count
+			if sh.pend[i].from < tgt.from {
+				tgt.from = sh.pend[i].from
+			}
+			sh.stats.MessagesCombined++
+			sh.stats.InboxBytesSaved += msgBytes
+			sh.pend[i] = accEntry{}
+			continue
+		}
+		if sh.accIdx == nil {
+			sh.accIdx = make(map[accKey]int32)
+		}
+		sh.accIdx[k] = int32(out)
+		if out != i {
+			sh.pend[out] = sh.pend[i]
+			sh.pend[i] = accEntry{}
+		}
+		sh.pendKeys[out] = k
+		out++
+	}
+	sh.pend = sh.pend[:out]
+	sh.pendKeys = sh.pendKeys[:out]
+}
+
+// flushPend delivers the surviving fold streams, one Message each, in
+// first-seen order. Combined messages land after any plain (slot < 0)
+// messages for the same destination.
+func (e *Engine) flushPend(sh *mergeShard) {
 	for i := range sh.pend {
 		p := &sh.pend[i]
 		k := sh.pendKeys[i]
@@ -1052,13 +1262,20 @@ func (e *Engine) mergeCombined(s int, sh *mergeShard) {
 type Context struct {
 	eng   *Engine
 	step  int
-	out   [][]outMsg  // one outbox per destination merge shard
-	acc   []ctxAcc    // one fold table per destination merge shard (combined plane)
-	wires [][]wireRec // cross-partition sends recorded for the shard's dedup set
-	stats Stats       // send-time accounting of combined sends
+	cur   VertexID   // vertex currently computing (set by the dispatch loops)
+	out   [][]outMsg // one outbox per destination merge shard
+	acc   []ctxAcc   // one fold table per destination merge shard (combined plane)
+	stats Stats      // send-time accounting of combined sends
 	aggs  map[string]int64
 	emits []any
-	ops   int64
+	// tagEmits/emitTags record (step, vertex) per emit so a distributed
+	// run can allgather the nodes' emit streams back into the exact
+	// single-process order. Off outside distributed runs.
+	tagEmits bool
+	emitTags []emitTag
+	// failErr is the first Context.Fail of the run on this worker.
+	failErr error
+	ops     int64
 }
 
 // Graph returns the graph being computed over.
@@ -1094,16 +1311,18 @@ func (c *Context) Send(from, to VertexID, payload any) {
 // had been materialized.
 func (c *Context) sendCombined(comb Combiner, s, slot int, from, to VertexID, payload any) {
 	opts := &c.eng.opts
-	sz := int64(opts.PayloadSize(payload))
 	c.stats.Messages++
-	c.stats.MessageBytes += sz
-	if opts.Partitions > 1 && opts.PartitionOf(from) != opts.PartitionOf(to) {
-		// The network dedup set is owned by the destination shard's
-		// merge worker; record the logical wire transfer for it.
-		c.wires[s] = append(c.wires[s], wireRec{w: wire{from: from, part: opts.PartitionOf(to), pay: payload}, sz: sz})
+	c.stats.MessageBytes += int64(opts.PayloadSize(payload))
+	// Fold streams split by the sender's partition: each partition's
+	// share of a stream is exactly the folded accumulator it would ship
+	// as one wire record, so the accounting (and the distributed
+	// exchange) falls out of the keying. At Partitions == 1 src stays 0.
+	var src int32
+	if opts.Partitions > 1 {
+		src = int32(opts.PartitionOf(from))
 	}
 	a := &c.acc[s]
-	k := accKey{to: to, slot: int32(slot)}
+	k := accKey{to: to, slot: int32(slot), src: src}
 	i := a.last
 	if i < 0 || int(i) >= len(a.keys) || a.keys[i] != k {
 		var ok bool
@@ -1144,7 +1363,23 @@ func (c *Context) AddInt(name string, delta int64) {
 }
 
 // Emit contributes a value to the run's distributed output.
-func (c *Context) Emit(v any) { c.emits = append(c.emits, v) }
+func (c *Context) Emit(v any) {
+	c.emits = append(c.emits, v)
+	if c.tagEmits {
+		c.emitTags = append(c.emitTags, emitTag{step: int32(c.step), v: c.cur})
+	}
+}
+
+// Fail aborts the run with err: the engine stops at the next barrier
+// and Engine.RunErr reports the first failure (in worker order; in a
+// distributed run, the globally agreed first). Compute keeps being
+// called for the remainder of the current superstep — programs should
+// return early once they have failed.
+func (c *Context) Fail(err error) {
+	if c.failErr == nil && err != nil {
+		c.failErr = err
+	}
+}
 
 // AddOps records n units of per-vertex computation for the cost measures.
 func (c *Context) AddOps(n int) { c.ops += int64(n) }

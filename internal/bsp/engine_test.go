@@ -202,22 +202,87 @@ func TestEngineAggregator(t *testing.T) {
 	}
 }
 
+// meteredLoopback wraps the loopback Transport and measures the frames
+// the engine hands over exactly as a real wire would bill them: the
+// codec frame header plus the sealed payload, per frame.
+type meteredLoopback struct {
+	Transport
+	frames int
+	bytes  int64
+	recs   int64
+}
+
+func (m *meteredLoopback) Exchange(step int, out []Frame) ([]Frame, error) {
+	for i := range out {
+		m.frames++
+		m.bytes += frameHeaderBytes + int64(len(out[i].Payload))
+		// Every sealed frame must parse — the wire the simulation prices
+		// is a wire a real node could decode.
+		err := decodeRecords(out[i].Payload, step, BasicCodec{}, func(VertexID, int32, any, VertexID, int32) error {
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.recs += countRecords(out[i].Payload)
+	}
+	return m.Transport.Exchange(step, out)
+}
+
+func countRecords(payload []byte) int64 {
+	// kind byte, uvarint step, uvarint record count (see sealRecords).
+	rest := payload[1:]
+	_, k := binaryUvarint(rest)
+	rest = rest[k:]
+	n, _ := binaryUvarint(rest)
+	return int64(n)
+}
+
+func binaryUvarint(b []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			return x | uint64(c)<<s, i + 1
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
 func TestEngineNetworkAccounting(t *testing.T) {
 	const n = 10
 	g, lbl := chainGraph(n)
 	// Partition even/odd: every chain hop crosses partitions.
+	metered := &meteredLoopback{Transport: Loopback(2)}
 	eng := NewEngine(g, Options{
 		Workers:     2,
 		Partitions:  2,
 		PartitionOf: func(v VertexID) int { return int(v) % 2 },
-		PayloadSize: func(any) int { return 16 },
+		Transport:   metered,
 	})
 	stats := eng.Run(&propagateProgram{lbl: lbl}, []VertexID{0})
+	// One wire record per chain hop: every hop crosses partitions and
+	// no two hops in one superstep share a sender.
 	if stats.NetworkMessages != n-1 {
 		t.Errorf("network messages = %d, want %d", stats.NetworkMessages, n-1)
 	}
-	if stats.NetworkBytes != (n-1)*16 {
-		t.Errorf("network bytes = %d, want %d", stats.NetworkBytes, (n-1)*16)
+	// The accounting must equal the measured bytes-on-wire exactly —
+	// same frames, same header charge, one code path.
+	if stats.NetworkBytes != metered.bytes {
+		t.Errorf("accounted network bytes = %d, measured on the transport = %d", stats.NetworkBytes, metered.bytes)
+	}
+	if stats.NetworkMessages != metered.recs {
+		t.Errorf("accounted network messages = %d, records on the transport = %d", stats.NetworkMessages, metered.recs)
+	}
+	// Every ordered partition pair ships one frame per superstep, empty
+	// or not — the synchronization cost the simulation must price.
+	if want := 2 * stats.Supersteps; metered.frames != want {
+		t.Errorf("frames on the transport = %d, want %d (2 pairs x %d supersteps)", metered.frames, want, stats.Supersteps)
+	}
+	if stats.NetworkBytes <= int64(metered.frames)*frameHeaderBytes {
+		t.Errorf("network bytes = %d do not cover %d frame headers plus records", stats.NetworkBytes, metered.frames)
 	}
 }
 

@@ -1,10 +1,17 @@
-// Package cluster simulates the distributed experiments of §8.6: the
-// same TAG-join programs run over a TAG graph whose vertices are hash-
-// partitioned across N simulated machines, with every message that
-// crosses a partition boundary counted as network traffic; the Spark SQL
+// Package cluster runs the distributed experiments of §8.6 over the
+// loopback transport: the same TAG-join programs run over a TAG graph
+// whose vertices are hash-partitioned across N machines, with every
+// sealed cross-partition frame priced as network traffic; the Spark SQL
 // stand-in executes the same queries with shuffle/broadcast joins whose
 // exchanged bytes are counted the same way. This regenerates Figure 16's
 // runtime and network-traffic comparison and Tables 16-17.
+//
+// "Loopback" is the single-process end of the bsp.Transport seam — the
+// frames are built, encoded and priced exactly as internal/dist puts
+// them on real sockets (the dist tests assert the byte counts are
+// equal), but delivery stays in memory. The partition function here,
+// int(v) % machines, is the same one dist topologies use, so a
+// machine count means the same thing on both paths.
 package cluster
 
 import (
@@ -34,6 +41,7 @@ type Cluster struct {
 	Cat      *relation.Catalog
 	TAG      *tag.Graph
 	ex       *core.Executor
+	shf      *baseline.Engine
 }
 
 // New builds the TAG encoding and prepares both engines.
@@ -51,6 +59,7 @@ func New(cat *relation.Catalog, machines int) (*Cluster, error) {
 		// TigerGraph-style automatic partitioning: hash by vertex id.
 		PartitionOf: func(v bsp.VertexID) int { return int(v) % machines },
 	})
+	c.shf = baseline.NewShuffle(cat, machines)
 	return c, nil
 }
 
@@ -72,16 +81,16 @@ func (c *Cluster) RunTAG(id, query string) (Result, error) {
 
 // RunShuffle executes a query with the Spark-SQL-like shuffle engine.
 func (c *Cluster) RunShuffle(id, query string) (Result, error) {
-	eng := baseline.NewShuffle(c.Cat, c.Machines)
+	c.shf.Stats = baseline.ExecStats{}
 	start := time.Now()
-	out, err := eng.Query(query)
+	out, err := c.shf.Query(query)
 	if err != nil {
 		return Result{}, fmt.Errorf("cluster: shuffle %s: %w", id, err)
 	}
 	return Result{
 		Engine: "shuffle", QueryID: id, Elapsed: time.Since(start),
-		Rows: out.Len(), NetworkBytes: eng.Stats.NetworkBytes(),
-		NetworkMessages: eng.Stats.ShuffledRows + eng.Stats.BroadcastRows,
+		Rows: out.Len(), NetworkBytes: c.shf.Stats.NetworkBytes(),
+		NetworkMessages: c.shf.Stats.ShuffledRows + c.shf.Stats.BroadcastRows,
 	}, nil
 }
 
@@ -96,7 +105,7 @@ func (c *Cluster) Compare(id, query string) (tagRes, shfRes Result, err error) {
 		return
 	}
 	tagOut, _ := c.ex.Query(query)
-	shfOut, _ := baseline.NewShuffle(c.Cat, c.Machines).Query(query)
+	shfOut, _ := c.shf.Query(query)
 	if !relation.EqualMultisetFuzzy(tagOut, shfOut) {
 		err = fmt.Errorf("cluster: %s: engines disagree (%d vs %d rows)", id, tagOut.Len(), shfOut.Len())
 	}

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/bsp"
 	"repro/internal/relation"
@@ -183,8 +182,6 @@ func (res *componentResult) vertexTable(v bsp.VertexID) *table {
 // finalizeNone handles blocks without aggregation: survivors filter their
 // tables vertex-parallel and emit rows; projection happens centrally.
 func (e *Session) finalizeNone(c *compiled, res *componentResult, outer *sql.Env, subq sql.SubqueryFn) (*relation.Relation, error) {
-	var errMu sync.Mutex
-	var firstErr error
 	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
 		t := res.vertexTable(v)
 		if t == nil {
@@ -193,11 +190,7 @@ func (e *Session) finalizeNone(c *compiled, res *componentResult, outer *sql.Env
 		rows, err := e.residualRows(c, t, outer)
 		ctx.AddOps(len(t.rows))
 		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
+			ctx.Fail(err)
 			return
 		}
 		if len(rows) > 0 {
@@ -206,9 +199,8 @@ func (e *Session) finalizeNone(c *compiled, res *componentResult, outer *sql.Env
 			ctx.Emit(out)
 		}
 	})
-	e.eng.Run(prog, res.survivors)
-	if firstErr != nil {
-		return nil, firstErr
+	if err := e.runProg(prog, res.survivors); err != nil {
+		return nil, err
 	}
 	var all *table
 	for _, em := range e.eng.Emitted() {
@@ -232,18 +224,8 @@ func (e *Session) finalizeLocal(c *compiled, res *componentResult, outer *sql.En
 	setup := newAggSetup(c.blk)
 	attrMerged := map[string]*groupAcc{}
 	var attrOrder []string
-	var headerOnce sync.Once
 	var srcHeader []string
 
-	var errMu sync.Mutex
-	var firstErr error
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
 	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
 		switch ctx.Step() {
 		case 0:
@@ -251,15 +233,14 @@ func (e *Session) finalizeLocal(c *compiled, res *componentResult, outer *sql.En
 			if t == nil {
 				return
 			}
-			headerOnce.Do(func() { srcHeader = t.header })
 			rows, err := e.residualRows(c, t, outer)
 			if err != nil {
-				setErr(err)
+				ctx.Fail(err)
 				return
 			}
 			groups, order, err := e.groupLocally(c, setup, t, rows, outer)
 			if err != nil {
-				setErr(err)
+				ctx.Fail(err)
 				return
 			}
 			ctx.AddOps(len(t.rows) + len(order))
@@ -286,10 +267,14 @@ func (e *Session) finalizeLocal(c *compiled, res *componentResult, outer *sql.En
 		case 1:
 			// Attribute vertices merge the partials of their groups; each
 			// vertex handles its own groups independently (LA parallelism).
+			// The merged groups ride one emitted partialGroups so the
+			// source header reaches every process with the result.
 			merged := map[string]*groupAcc{}
 			var order []string
+			var header []string
 			for _, m := range inbox {
 				pg := m.Payload.(*partialGroups)
+				header = pg.header
 				for _, g := range pg.groups {
 					ks := groupKeyString(g.key)
 					if have := merged[ks]; have != nil {
@@ -303,20 +288,26 @@ func (e *Session) finalizeLocal(c *compiled, res *componentResult, outer *sql.En
 				}
 			}
 			ctx.AddOps(len(order))
-			for _, ks := range order {
-				ctx.Emit(merged[ks])
+			if len(order) > 0 {
+				out := &partialGroups{header: header, groups: make([]*groupAcc, 0, len(order))}
+				for _, ks := range order {
+					out.groups = append(out.groups, merged[ks])
+				}
+				ctx.Emit(out)
 			}
 		}
 	})
-	e.eng.Run(bsp.WithCombiner(prog, pgCombiner{}), res.survivors)
-	if firstErr != nil {
-		return nil, firstErr
+	if err := e.runProg(bsp.WithCombiner(prog, pgCombiner{}), res.survivors); err != nil {
+		return nil, err
 	}
 	for _, em := range e.eng.Emitted() {
-		g := em.(*groupAcc)
-		ks := groupKeyString(g.key)
-		attrMerged[ks] = g
-		attrOrder = append(attrOrder, ks)
+		pg := em.(*partialGroups)
+		srcHeader = pg.header
+		for _, g := range pg.groups {
+			ks := groupKeyString(g.key)
+			attrMerged[ks] = g
+			attrOrder = append(attrOrder, ks)
+		}
 	}
 	return e.projectGroups(c, setup, attrMerged, attrOrder, srcHeader, outer, subq)
 }
@@ -328,18 +319,8 @@ func (e *Session) finalizeGlobal(c *compiled, res *componentResult, outer *sql.E
 	setup := newAggSetup(c.blk)
 	merged := map[string]*groupAcc{}
 	var order []string
-	var headerOnce sync.Once
 	var srcHeader []string
 
-	var errMu sync.Mutex
-	var firstErr error
-	setErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
 	// With a partitioned (distributed) graph, partials are first combined
 	// at one relay vertex per machine, so only one combined message per
 	// machine crosses the network to the global aggregator — the
@@ -393,15 +374,14 @@ func (e *Session) finalizeGlobal(c *compiled, res *componentResult, outer *sql.E
 			if t == nil {
 				return
 			}
-			headerOnce.Do(func() { srcHeader = t.header })
 			rows, err := e.residualRows(c, t, outer)
 			if err != nil {
-				setErr(err)
+				ctx.Fail(err)
 				return
 			}
 			groups, gorder, err := e.groupLocally(c, setup, t, rows, outer)
 			if err != nil {
-				setErr(err)
+				ctx.Fail(err)
 				return
 			}
 			ctx.AddOps(len(t.rows) + len(gorder))
@@ -419,9 +399,14 @@ func (e *Session) finalizeGlobal(c *compiled, res *componentResult, outer *sql.E
 			}
 		case ctx.Step() == relayStep && len(relays) > 1:
 			// Per-machine relay: combine and forward one message.
+			var header []string
+			for _, m := range inbox {
+				header = m.Payload.(*partialGroups).header
+				break
+			}
 			i := relayOf[v]
 			mergeInbox(ctx, inbox, relayAcc[i], &relayOrder[i])
-			pg := &partialGroups{}
+			pg := &partialGroups{header: header}
 			for _, ks := range relayOrder[i] {
 				pg.groups = append(pg.groups, relayAcc[i][ks])
 			}
@@ -432,12 +417,36 @@ func (e *Session) finalizeGlobal(c *compiled, res *componentResult, outer *sql.E
 			// The single aggregator vertex merges everything (the GA
 			// bottleneck of §8.3 — now fed at most one message per worker
 			// per machine, since aggregator-bound partials fold en route).
-			mergeInbox(ctx, inbox, merged, &order)
+			// The merged result rides the emit stream so every process —
+			// not just the aggregator vertex's owner — can project it.
+			local := map[string]*groupAcc{}
+			var lorder []string
+			var header []string
+			for _, m := range inbox {
+				header = m.Payload.(*partialGroups).header
+				break
+			}
+			mergeInbox(ctx, inbox, local, &lorder)
+			if len(lorder) > 0 {
+				out := &partialGroups{header: header, groups: make([]*groupAcc, 0, len(lorder))}
+				for _, ks := range lorder {
+					out.groups = append(out.groups, local[ks])
+				}
+				ctx.Emit(out)
+			}
 		}
 	})
-	e.eng.Run(bsp.WithCombiner(prog, pgCombiner{}), res.survivors)
-	if firstErr != nil {
-		return nil, firstErr
+	if err := e.runProg(bsp.WithCombiner(prog, pgCombiner{}), res.survivors); err != nil {
+		return nil, err
+	}
+	for _, em := range e.eng.Emitted() {
+		pg := em.(*partialGroups)
+		srcHeader = pg.header
+		for _, g := range pg.groups {
+			ks := groupKeyString(g.key)
+			merged[ks] = g
+			order = append(order, ks)
+		}
 	}
 	return e.projectGroups(c, setup, merged, order, srcHeader, outer, subq)
 }

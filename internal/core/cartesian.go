@@ -19,10 +19,6 @@ func (e *Session) CartesianA(tableR, tableS string) (*relation.Relation, error) 
 	out := relation.New("product", productSchema(relR, relS))
 	agg := e.TAG.Aggregator
 
-	type msg struct {
-		left bool
-		row  relation.Tuple
-	}
 	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
 		ctx.AddOps(1 + len(inbox))
 		if ctx.Step() == 0 {
@@ -30,14 +26,14 @@ func (e *Session) CartesianA(tableR, tableS string) (*relation.Relation, error) 
 			if d == nil || d.Dead {
 				return
 			}
-			ctx.Send(v, agg, msg{left: d.Table == lower(tableR), row: d.Row})
+			ctx.Send(v, agg, cartMsg{left: d.Table == lower(tableR), row: d.Row})
 			return
 		}
 		// The aggregator vertex combines sequentially (the whole point of
 		// Algorithm A's critique).
 		var ls, rs []relation.Tuple
 		for _, m := range inbox {
-			p := m.Payload.(msg)
+			p := m.Payload.(cartMsg)
 			if p.left {
 				ls = append(ls, p.row)
 			} else {
@@ -52,11 +48,20 @@ func (e *Session) CartesianA(tableR, tableS string) (*relation.Relation, error) 
 		}
 	})
 	initial := append(append([]bsp.VertexID{}, e.TAG.TupleVertices(tableR)...), e.TAG.TupleVertices(tableS)...)
-	e.eng.Run(prog, initial)
+	if err := e.runProg(prog, initial); err != nil {
+		return nil, err
+	}
 	for _, em := range e.eng.Emitted() {
 		out.Tuples = append(out.Tuples, em.(relation.Tuple))
 	}
 	return out, nil
+}
+
+// cartMsg is the payload of Algorithm A's tuple relay: which side of
+// the product the sender belongs to, and its row.
+type cartMsg struct {
+	left bool
+	row  relation.Tuple
 }
 
 // CartesianB computes R × S with the distributed Algorithm B of §6.3: the
@@ -115,7 +120,9 @@ func (e *Session) CartesianB(tableR, tableS string) (*relation.Relation, error) 
 		}
 	})
 	initial := append(append([]bsp.VertexID{}, e.TAG.TupleVertices(tableR)...), e.TAG.TupleVertices(tableS)...)
-	e.eng.Run(prog, initial)
+	if err := e.runProg(prog, initial); err != nil {
+		return nil, err
+	}
 	for _, em := range e.eng.Emitted() {
 		out.Tuples = append(out.Tuples, em.(relation.Tuple))
 	}

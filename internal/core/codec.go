@@ -1,0 +1,400 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bsp"
+	"repro/internal/codec"
+	"repro/internal/relation"
+	"repro/internal/sql"
+)
+
+// sessionCodec is the bsp.PayloadCodec of the SQL execution layer: it
+// serializes every payload, combiner accumulator and emit value the
+// vertex programs of this package put on the message plane, so the
+// same programs run unchanged whether the partitions are simulated in
+// one process or spread over internal/dist workers. The simulated
+// engine prices the exact bytes this codec produces, which is what
+// makes Stats.NetworkBytes equal measured bytes-on-wire.
+//
+// Every encoding starts with a tag byte; tag ctBasic defers to
+// bsp.BasicCodec for the primitive vocabulary (nil, bool, ints,
+// strings, vertex ids), so core programs can keep using primitives
+// freely.
+type sessionCodec struct {
+	basic bsp.BasicCodec
+}
+
+const (
+	ctBasic byte = iota
+	ctCycleMsg
+	ctValueBatch
+	ctSenderBatch
+	ctTable
+	ctTableBatch
+	ctPartialGroups
+	ctGroupAcc
+	ctTuple
+	ctValueSlice
+	ctCartMsg
+	ctOJReply
+	ctRootVal
+	ctRelayMark
+	ctValue
+)
+
+// Append implements bsp.PayloadCodec.
+func (c sessionCodec) Append(dst []byte, pay any) ([]byte, error) {
+	switch m := pay.(type) {
+	case cycleMsg:
+		return relation.AppendValue(append(dst, ctCycleMsg), m.val)
+	case *valueBatch:
+		return appendValues(append(dst, ctValueBatch), m.vals)
+	case *senderBatch:
+		dst = binary.AppendUvarint(append(dst, ctSenderBatch), uint64(len(m.from)))
+		for _, v := range m.from {
+			dst = binary.AppendUvarint(dst, uint64(v))
+		}
+		return dst, nil
+	case *table:
+		return appendTable(append(dst, ctTable), m)
+	case *tableBatch:
+		return appendTable(append(dst, ctTableBatch), m.t)
+	case *partialGroups:
+		return appendPartialGroups(append(dst, ctPartialGroups), m)
+	case *groupAcc:
+		return appendGroup(append(dst, ctGroupAcc), m)
+	case relation.Tuple:
+		return appendValues(append(dst, ctTuple), m)
+	case []relation.Value:
+		return appendValues(append(dst, ctValueSlice), m)
+	case cartMsg:
+		dst = appendBool(append(dst, ctCartMsg), m.left)
+		return appendValues(dst, m.row)
+	case ojReply:
+		dst = appendBool(append(dst, ctOJReply), m.left)
+		return appendValues(dst, m.row)
+	case rootVal:
+		dst = binary.AppendUvarint(append(dst, ctRootVal), uint64(m.v))
+		return appendTable(dst, m.t)
+	case relayMark:
+		dst = codec.AppendString(append(dst, ctRelayMark), m.alias)
+		return binary.AppendUvarint(dst, uint64(m.v)), nil
+	case relation.Value:
+		return relation.AppendValue(append(dst, ctValue), m)
+	default:
+		return c.basic.Append(append(dst, ctBasic), pay)
+	}
+}
+
+// Decode implements bsp.PayloadCodec. Every non-basic decode consumes
+// the full buffer (Finish), so trailing garbage surfaces as an error
+// instead of being silently dropped.
+func (c sessionCodec) Decode(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty payload encoding")
+	}
+	if data[0] == ctBasic {
+		return c.basic.Decode(data[1:])
+	}
+	d := codec.NewDecoder(data[1:])
+	pay, err := decodeTagged(data[0], d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return pay, nil
+}
+
+func decodeTagged(tag byte, d *codec.Decoder) (any, error) {
+	switch tag {
+	case ctCycleMsg:
+		v, err := relation.DecodeValue(d)
+		if err != nil {
+			return nil, err
+		}
+		return cycleMsg{val: v}, nil
+	case ctValueBatch:
+		vals, err := decodeValues(d)
+		if err != nil {
+			return nil, err
+		}
+		b := &valueBatch{vals: vals, seen: make(map[relation.Value]struct{}, len(vals))}
+		for _, v := range vals {
+			b.seen[v] = struct{}{}
+		}
+		return b, nil
+	case ctSenderBatch:
+		n, err := d.Length()
+		if err != nil {
+			return nil, err
+		}
+		b := &senderBatch{from: make([]bsp.VertexID, 0, codec.CapHint(n))}
+		for i := 0; i < n; i++ {
+			v, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			b.from = append(b.from, bsp.VertexID(v))
+		}
+		return b, nil
+	case ctTable:
+		return decodeTable(d)
+	case ctTableBatch:
+		t, err := decodeTable(d)
+		if err != nil {
+			return nil, err
+		}
+		return &tableBatch{t: t, owned: true}, nil
+	case ctPartialGroups:
+		return decodePartialGroups(d)
+	case ctGroupAcc:
+		return decodeGroup(d)
+	case ctTuple:
+		vals, err := decodeValues(d)
+		if err != nil {
+			return nil, err
+		}
+		return relation.Tuple(vals), nil
+	case ctValueSlice:
+		return decodeValues(d)
+	case ctCartMsg:
+		left, err := decodeBool(d)
+		if err != nil {
+			return nil, err
+		}
+		row, err := decodeValues(d)
+		if err != nil {
+			return nil, err
+		}
+		return cartMsg{left: left, row: row}, nil
+	case ctOJReply:
+		left, err := decodeBool(d)
+		if err != nil {
+			return nil, err
+		}
+		row, err := decodeValues(d)
+		if err != nil {
+			return nil, err
+		}
+		return ojReply{left: left, row: row}, nil
+	case ctRootVal:
+		v, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		t, err := decodeTable(d)
+		if err != nil {
+			return nil, err
+		}
+		return rootVal{v: bsp.VertexID(v), t: t}, nil
+	case ctRelayMark:
+		alias, err := d.Str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		return relayMark{alias: alias, v: bsp.VertexID(v)}, nil
+	case ctValue:
+		return relation.DecodeValue(d)
+	default:
+		return nil, fmt.Errorf("core: unknown payload tag %#x", tag)
+	}
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func decodeBool(d *codec.Decoder) (bool, error) {
+	b, err := d.Byte()
+	return b != 0, err
+}
+
+func appendValues(b []byte, vals []relation.Value) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(vals)))
+	var err error
+	for _, v := range vals {
+		if b, err = relation.AppendValue(b, v); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func decodeValues(d *codec.Decoder) ([]relation.Value, error) {
+	n, err := d.Length()
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]relation.Value, 0, codec.CapHint(n))
+	for i := 0; i < n; i++ {
+		v, err := relation.DecodeValue(d)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = codec.AppendString(b, s)
+	}
+	return b
+}
+
+func decodeStrings(d *codec.Decoder) ([]string, error) {
+	n, err := d.Length()
+	if err != nil {
+		return nil, err
+	}
+	ss := make([]string, 0, codec.CapHint(n))
+	for i := 0; i < n; i++ {
+		s, err := d.Str()
+		if err != nil {
+			return nil, err
+		}
+		ss = append(ss, s)
+	}
+	return ss, nil
+}
+
+// appendTable encodes header and rows; the index is rebuilt on decode.
+// Every row of a plane-crossing table has header arity (they are built
+// against the header by construction), so rows encode values only.
+func appendTable(b []byte, t *table) ([]byte, error) {
+	b = appendStrings(b, t.header)
+	b = binary.AppendUvarint(b, uint64(len(t.rows)))
+	var err error
+	for _, row := range t.rows {
+		if len(row) != len(t.header) {
+			return nil, fmt.Errorf("core: table row arity %d != header arity %d", len(row), len(t.header))
+		}
+		for _, v := range row {
+			if b, err = relation.AppendValue(b, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+func decodeTable(d *codec.Decoder) (*table, error) {
+	header, err := decodeStrings(d)
+	if err != nil {
+		return nil, err
+	}
+	nrows, err := d.Length()
+	if err != nil {
+		return nil, err
+	}
+	t := newTable(header)
+	t.rows = make([][]relation.Value, 0, codec.CapHint(nrows))
+	for i := 0; i < nrows; i++ {
+		row := make([]relation.Value, len(header))
+		for j := range row {
+			if row[j], err = relation.DecodeValue(d); err != nil {
+				return nil, err
+			}
+		}
+		t.rows = append(t.rows, row)
+	}
+	return t, nil
+}
+
+// appendGroup encodes one partial aggregation group: key tuple, the
+// representative row, and the aggregator states.
+func appendGroup(b []byte, g *groupAcc) ([]byte, error) {
+	b, err := appendValues(b, g.key)
+	if err != nil {
+		return nil, err
+	}
+	if b, err = appendValues(b, g.rep); err != nil {
+		return nil, err
+	}
+	b = binary.AppendUvarint(b, uint64(len(g.aggs)))
+	for _, a := range g.aggs {
+		if b, err = a.AppendBinary(b); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func decodeGroup(d *codec.Decoder) (*groupAcc, error) {
+	key, err := decodeValues(d)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := decodeValues(d)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.Length()
+	if err != nil {
+		return nil, err
+	}
+	g := &groupAcc{key: key, rep: rep, aggs: make([]*sql.Aggregator, 0, codec.CapHint(n))}
+	for i := 0; i < n; i++ {
+		a, err := sql.DecodeAggregator(d)
+		if err != nil {
+			return nil, err
+		}
+		g.aggs = append(g.aggs, a)
+	}
+	return g, nil
+}
+
+// appendPartialGroups encodes the aggregation fold stream: the shared
+// source header, the logical pre-combine group count, and the groups in
+// fold order (the receiver's merge replays concatenation-deferred keys
+// in exactly this order, preserving float byte-identity).
+func appendPartialGroups(b []byte, pg *partialGroups) ([]byte, error) {
+	b = appendStrings(b, pg.header)
+	b = binary.AppendUvarint(b, uint64(pg.logicalGroups()))
+	b = binary.AppendUvarint(b, uint64(len(pg.groups)))
+	var err error
+	for _, g := range pg.groups {
+		if b, err = appendGroup(b, g); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func decodePartialGroups(d *codec.Decoder) (*partialGroups, error) {
+	header, err := decodeStrings(d)
+	if err != nil {
+		return nil, err
+	}
+	logical, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.Length()
+	if err != nil {
+		return nil, err
+	}
+	pg := &partialGroups{header: header, logical: int(logical),
+		groups: make([]*groupAcc, 0, codec.CapHint(n))}
+	for i := 0; i < n; i++ {
+		g, err := decodeGroup(d)
+		if err != nil {
+			return nil, err
+		}
+		pg.groups = append(pg.groups, g)
+	}
+	return pg, nil
+}

@@ -98,9 +98,11 @@ func (p *collectionProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bs
 	}
 
 	if p.cur >= r.nUp {
-		// Root reached: record the distributed output (line 42).
-		r.values[v] = value
-		ctx.Emit(v)
+		// Root reached: emit the distributed output (line 42). The value
+		// rides the emit stream instead of being written into r.values
+		// directly so that, under a distributed transport, every process
+		// reconstructs the full survivor set from the emit allgather.
+		ctx.Emit(rootVal{v: v, t: value})
 		return
 	}
 
@@ -111,12 +113,21 @@ func (p *collectionProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []bs
 	}
 }
 
+// rootVal is the emitted collection output of one root-alias survivor:
+// the vertex and its final partial-join table.
+type rootVal struct {
+	v bsp.VertexID
+	t *table
+}
+
 // runCollection executes the collection phase from the reduction
 // survivors of the start alias and returns the distributed result.
 func (r *componentRun) runCollection(starters []bsp.VertexID) (*componentResult, error) {
 	r.values = make([]*table, r.ex.TAG.G.NumVertices())
 	prog := &collectionProgram{r: r}
-	r.ex.eng.Run(prog, starters)
+	if err := r.ex.runProg(prog, starters); err != nil {
+		return nil, err
+	}
 
 	res := &componentResult{
 		run:       r,
@@ -124,7 +135,9 @@ func (r *componentRun) runCollection(starters []bsp.VertexID) (*componentResult,
 		values:    r.values,
 	}
 	for _, e := range r.ex.eng.Emitted() {
-		res.survivors = append(res.survivors, e.(bsp.VertexID))
+		rv := e.(rootVal)
+		r.values[rv.v] = rv.t
+		res.survivors = append(res.survivors, rv.v)
 	}
 	return res, nil
 }

@@ -394,7 +394,9 @@ func (r *componentRun) runSingle(alias string) (*componentResult, error) {
 			ctx.Emit(v)
 		}
 	})
-	r.ex.eng.Run(prog, r.seedVertices(alias))
+	if err := r.ex.runProg(prog, r.seedVertices(alias)); err != nil {
+		return nil, err
+	}
 	for _, e := range r.ex.eng.Emitted() {
 		res.survivors = append(res.survivors, e.(bsp.VertexID))
 	}

@@ -146,7 +146,10 @@ func (r *componentRun) runCyclePass(cyc plan.Cycle) error {
 	}
 	// Light: wake X2 through R1, then propagate X2 values both ways.
 	if len(light) > 0 {
-		lightStart := r.wakeNeighbors(light, leftH[0], leftH[1])
+		lightStart, err := r.wakeNeighbors(light, leftH[0], leftH[1])
+		if err != nil {
+			return err
+		}
 		if len(lightStart) > 0 {
 			left2, err := buildPath(2, +1)
 			if err != nil {
@@ -170,7 +173,7 @@ func (r *componentRun) runCyclePass(cyc plan.Cycle) error {
 
 // wakeNeighbors performs the light-case wake-up (§6.1.2 step 3): the
 // light X1 vertices signal through R1 tuples to activate X2 vertices.
-func (r *componentRun) wakeNeighbors(start []bsp.VertexID, h0, h1 pathHop) []bsp.VertexID {
+func (r *componentRun) wakeNeighbors(start []bsp.VertexID, h0, h1 pathHop) ([]bsp.VertexID, error) {
 	woken := map[bsp.VertexID]bool{}
 	prog := bsp.ProgramFunc(func(ctx *bsp.Context, v bsp.VertexID, inbox []bsp.Message) {
 		switch ctx.Step() {
@@ -188,7 +191,9 @@ func (r *componentRun) wakeNeighbors(start []bsp.VertexID, h0, h1 pathHop) []bsp
 	})
 	// The wake-up is a pure activation signal — receivers never read the
 	// inbox — so the plane folds it to one message per woken vertex.
-	r.ex.eng.Run(bsp.WithCombiner(prog, bsp.SignalCombiner{}), start)
+	if err := r.ex.runProg(bsp.WithCombiner(prog, bsp.SignalCombiner{}), start); err != nil {
+		return nil, err
+	}
 	var out []bsp.VertexID
 	for _, e := range r.ex.eng.Emitted() {
 		vid := e.(bsp.VertexID)
@@ -197,7 +202,7 @@ func (r *componentRun) wakeNeighbors(start []bsp.VertexID, h0, h1 pathHop) []bsp
 			out = append(out, vid)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // cycleRound runs one forward+backward propagation round: start vertices
@@ -211,8 +216,12 @@ func (r *componentRun) cycleRound(start []bsp.VertexID, left, right []pathHop, s
 	leftArr := make([]map[relation.Value]struct{}, nv)
 	rightArr := make([]map[relation.Value]struct{}, nv)
 
-	r.cycleForward(start, left, leftFwd, leftArr)
-	r.cycleForward(start, right, rightFwd, rightArr)
+	if err := r.cycleForward(start, left, leftFwd, leftArr); err != nil {
+		return err
+	}
+	if err := r.cycleForward(start, right, rightFwd, rightArr); err != nil {
+		return err
+	}
 
 	// Intersect at the middle attribute vertices.
 	surviving := make([]map[relation.Value]struct{}, nv)
@@ -233,9 +242,10 @@ func (r *componentRun) cycleRound(start []bsp.VertexID, left, right []pathHop, s
 		}
 	}
 
-	r.cycleBackward(mids, left, leftFwd, surviving, survivors)
-	r.cycleBackward(mids, right, rightFwd, surviving, survivors)
-	return nil
+	if err := r.cycleBackward(mids, left, leftFwd, surviving, survivors); err != nil {
+		return err
+	}
+	return r.cycleBackward(mids, right, rightFwd, surviving, survivors)
 }
 
 // cycleForwardProgram propagates each start vertex's own value along the
@@ -297,8 +307,8 @@ func (p *cycleForwardProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox []
 	}
 }
 
-func (r *componentRun) cycleForward(start []bsp.VertexID, hops []pathHop, fwd, arr []map[relation.Value]struct{}) {
-	r.ex.eng.Run(&cycleForwardProgram{r: r, hops: hops, fwd: fwd, arr: arr}, start)
+func (r *componentRun) cycleForward(start []bsp.VertexID, hops []pathHop, fwd, arr []map[relation.Value]struct{}) error {
+	return r.ex.runProg(&cycleForwardProgram{r: r, hops: hops, fwd: fwd, arr: arr}, start)
 }
 
 // cycleBackwardProgram walks surviving values back from the middle,
@@ -358,16 +368,19 @@ func (p *cycleBackwardProgram) Compute(ctx *bsp.Context, v bsp.VertexID, inbox [
 	}
 }
 
-func (r *componentRun) cycleBackward(mids []bsp.VertexID, hops []pathHop, fwd []map[relation.Value]struct{}, surviving []map[relation.Value]struct{}, survivors map[string]map[bsp.VertexID]bool) {
+func (r *componentRun) cycleBackward(mids []bsp.VertexID, hops []pathHop, fwd []map[relation.Value]struct{}, surviving []map[relation.Value]struct{}, survivors map[string]map[bsp.VertexID]bool) error {
 	prog := &cycleBackwardProgram{
 		r: r, hops: hops, fwd: fwd, surviving: surviving,
 		seen: make([]map[relation.Value]struct{}, r.ex.TAG.G.NumVertices()),
 	}
-	r.ex.eng.Run(prog, mids)
+	if err := r.ex.runProg(prog, mids); err != nil {
+		return err
+	}
 	for _, e := range r.ex.eng.Emitted() {
 		mk := e.(relayMark)
 		survivors[mk.alias][mk.v] = true
 	}
+	return nil
 }
 
 // relayMark reports a tuple vertex that relayed a surviving cycle value.

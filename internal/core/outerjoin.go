@@ -30,12 +30,14 @@ func (e *Session) runOuterBlock(c *compiled, outer *sql.Env) (*relation.Relation
 	j := newJoiner(c.classCols)
 	for i, fi := range c.blk.Sel.From {
 		alias := c.blk.Tables[i].Alias
-		right := e.scanAlias(c, alias)
+		right, err := e.scanAlias(c, alias)
+		if err != nil {
+			return nil, err
+		}
 		if cur == nil {
 			cur = right
 			continue
 		}
-		var err error
 		switch fi.Join {
 		case sql.JoinComma:
 			cur = j.join(cur, right)
@@ -60,7 +62,7 @@ func (e *Session) runOuterBlock(c *compiled, outer *sql.Env) (*relation.Relation
 }
 
 // scanAlias materializes an alias's needed columns vertex-parallel.
-func (e *Session) scanAlias(c *compiled, alias string) *table {
+func (e *Session) scanAlias(c *compiled, alias string) (*table, error) {
 	header := append(append([]string{}, c.bindKeys[alias]...), idCol(alias))
 	out := newTable(header)
 	idx := c.neededIdx[alias]
@@ -77,11 +79,20 @@ func (e *Session) scanAlias(c *compiled, alias string) *table {
 		row = append(row, relation.Int(int64(v)))
 		ctx.Emit(row)
 	})
-	e.eng.Run(prog, e.TAG.TupleVertices(c.aliasTable[alias]))
+	if err := e.runProg(prog, e.TAG.TupleVertices(c.aliasTable[alias])); err != nil {
+		return nil, err
+	}
 	for _, em := range e.eng.Emitted() {
 		out.rows = append(out.rows, em.([]relation.Value))
 	}
-	return out
+	return out, nil
+}
+
+// ojReply is the tuple-vertex reply of the §7 two-way outer join: which
+// side the replying tuple belongs to, and its projected row.
+type ojReply struct {
+	left bool
+	row  []relation.Value
 }
 
 // tableJoinOn hash-joins two tables on the equi conjuncts of ON and
@@ -253,10 +264,6 @@ func (e *Session) tryVertexOuter(c *compiled, outer *sql.Env, subq sql.SubqueryF
 	// Superstep 3: attribute vertices build the (possibly NULL-extended)
 	// output; preserved-side tuples without a join value at all are
 	// handled by the final sweep below.
-	type reply struct {
-		left bool
-		row  []relation.Value
-	}
 	matchedLeft := make([]bool, e.TAG.G.NumVertices())
 	matchedRight := make([]bool, e.TAG.G.NumVertices())
 
@@ -302,13 +309,13 @@ func (e *Session) tryVertexOuter(c *compiled, outer *sql.Env, subq sql.SubqueryF
 			}
 			row = append(row, relation.Int(int64(v)))
 			for _, m := range inbox {
-				ctx.Send(v, m.From, reply{left: isLeft, row: row})
+				ctx.Send(v, m.From, ojReply{left: isLeft, row: row})
 			}
 		case 3:
 			var lefts, rights [][]relation.Value
 			var leftIDs, rightIDs []bsp.VertexID
 			for _, m := range inbox {
-				rp := m.Payload.(reply)
+				rp := m.Payload.(ojReply)
 				if rp.left {
 					lefts = append(lefts, rp.row)
 					leftIDs = append(leftIDs, m.From)
@@ -341,7 +348,9 @@ func (e *Session) tryVertexOuter(c *compiled, outer *sql.Env, subq sql.SubqueryF
 	})
 	initial := append(append([]bsp.VertexID{}, e.TAG.TupleVertices(c.aliasTable[la])...),
 		e.TAG.TupleVertices(c.aliasTable[ra])...)
-	e.eng.Run(prog, initial)
+	if err := e.runProg(prog, initial); err != nil {
+		return nil, false, err
+	}
 	for _, em := range e.eng.Emitted() {
 		out.rows = append(out.rows, em.([]relation.Value))
 	}

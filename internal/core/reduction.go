@@ -98,7 +98,9 @@ func (r *componentRun) runReduction() ([]bsp.VertexID, error) {
 	r.prepareFilterMemo()
 	prog := &reductionProgram{r: r}
 	initial := r.initialActives(r.comp.TAGPlan.StartAlias)
-	r.ex.eng.Run(prog, initial)
+	if err := r.ex.runProg(prog, initial); err != nil {
+		return nil, err
+	}
 	var survivors []bsp.VertexID
 	for _, e := range r.ex.eng.Emitted() {
 		survivors = append(survivors, e.(bsp.VertexID))

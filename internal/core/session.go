@@ -76,11 +76,27 @@ func NewSession(t *tag.Graph, opts bsp.Options) *Session {
 	if opts.PayloadSize == nil {
 		opts.PayloadSize = payloadSize
 	}
+	if opts.Codec == nil {
+		// The SQL layer's payload registry: lets the engine put this
+		// package's message and emit types on the wire (and price the
+		// simulated exchange in exactly those bytes).
+		opts.Codec = sessionCodec{}
+	}
 	return &Session{
 		TAG:  t,
 		Opts: opts,
 		eng:  bsp.NewEngine(t.G, opts),
 	}
+}
+
+// runProg runs one vertex program on the session's engine and surfaces
+// the engine-level error: a Context.Fail raised by any partition (made
+// global at the barrier) or a transport/codec failure. Phases must
+// check it before consuming Emitted(), which may be partial after an
+// aborted run.
+func (e *Session) runProg(prog bsp.Program, initial []bsp.VertexID) error {
+	e.eng.Run(prog, initial)
+	return e.eng.RunErr()
 }
 
 // partitionRelays returns one vertex per simulated machine (partition)
@@ -117,6 +133,13 @@ func (e *Session) Stats() bsp.Stats { return e.eng.Stats() }
 
 // ResetStats zeroes the accumulated cost measures.
 func (e *Session) ResetStats() { e.eng.ResetStats() }
+
+// DistErr reports the sticky transport failure that has permanently
+// degraded this session's distributed engine (nil on loopback sessions
+// and while a distributed transport stays healthy). Query errors do
+// not set it; a node that reports one can no longer participate in its
+// topology.
+func (e *Session) DistErr() error { return e.eng.DistErr() }
 
 // InboxBytes reports the resident memory of this session's sparse BSP
 // message plane (live inbox entries plus pooled buffers); compare with

@@ -1,0 +1,45 @@
+package dist
+
+import (
+	"repro/internal/bsp"
+)
+
+// collectives is the control-plane side of a node's Transport: the
+// StartRun rendezvous, the per-superstep barrier reduce-broadcast and
+// the end-of-run emit allgather. The coordinator's node talks to the
+// hub in-process; a worker's node talks to the coordinator over its
+// control connection. Both resolve to the same bsp.ReduceBarrier
+// reduction on the coordinator, so "globally agreed" means one thing.
+type collectives interface {
+	startRun() error
+	barrier(bf bsp.BarrierFrame) (bsp.BarrierFrame, error)
+	finishRun(blob []byte) ([][]byte, error)
+}
+
+// node implements bsp.Transport for one member of a topology: data
+// frames ride the mesh, control collectives ride the coordinator star.
+type node struct {
+	parts int
+	local int
+	mesh  *mesh
+	coll  collectives
+}
+
+var _ bsp.Transport = (*node)(nil)
+
+func (n *node) Parts() int { return n.parts }
+func (n *node) Local() int { return n.local }
+
+func (n *node) StartRun() error { return n.coll.startRun() }
+
+func (n *node) Exchange(step int, out []bsp.Frame) ([]bsp.Frame, error) {
+	return n.mesh.exchange(out)
+}
+
+func (n *node) Barrier(bf bsp.BarrierFrame) (bsp.BarrierFrame, error) {
+	return n.coll.barrier(bf)
+}
+
+func (n *node) FinishRun(emits []byte) ([][]byte, error) {
+	return n.coll.finishRun(emits)
+}

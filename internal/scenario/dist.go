@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/codec"
+)
+
+// ---- distributed-topology steps -----------------------------------------
+
+// KillWorkerUnderQuery hammers the coordinator's /query endpoint from a
+// background loop while SIGKILLing one worker mid-stream. The contract:
+// every in-flight and subsequent query gets an HTTP answer — rows
+// before the kill, a typed JSON error once the topology degrades —
+// never a hang, never a coordinator crash. At least one typed error
+// must be observed, the proof the kill landed while queries were in
+// flight rather than in a quiet gap.
+type KillWorkerUnderQuery struct {
+	Server string // coordinator; defaults to "main"
+	Victim string // worker to SIGKILL
+	SQL    string // query to stream
+}
+
+func (s KillWorkerUnderQuery) Describe() string {
+	return fmt.Sprintf("kill -9 %s under query load on %s", s.Victim, orMain(s.Server))
+}
+
+func (s KillWorkerUnderQuery) Run(c *Ctx) error {
+	coord, err := c.proc(s.Server)
+	if err != nil {
+		return err
+	}
+	victim, err := c.proc(s.Victim)
+	if err != nil {
+		return err
+	}
+
+	path := "/query?sql=" + url.QueryEscape(s.SQL)
+	var (
+		mu      sync.Mutex
+		oks     int
+		typed   int
+		hardErr error
+	)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			status, _, out, err := c.do(s.Server, http.MethodGet, path, nil)
+			mu.Lock()
+			switch {
+			case err != nil:
+				// A transport-level failure means a hung or crashed
+				// coordinator — the one forbidden outcome.
+				hardErr = fmt.Errorf("query transport error under worker kill: %w", err)
+			case status == http.StatusOK:
+				oks++
+			default:
+				var e struct {
+					Error string `json:"error"`
+				}
+				if json.Unmarshal(out, &e) != nil || e.Error == "" {
+					hardErr = fmt.Errorf("status %d without a JSON error body: %s", status, out)
+				} else {
+					typed++
+				}
+			}
+			stopNow := hardErr != nil
+			mu.Unlock()
+			if stopNow {
+				return
+			}
+		}
+	}()
+
+	// Let the stream establish, then kill the worker under it.
+	time.Sleep(150 * time.Millisecond)
+	if err := victim.signal(syscall.SIGKILL, 10*time.Second); err != nil {
+		close(stop)
+		<-done
+		return err
+	}
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	if hardErr != nil {
+		return hardErr
+	}
+	if oks == 0 {
+		return fmt.Errorf("no query succeeded before the kill")
+	}
+	if typed == 0 {
+		return fmt.Errorf("no typed error observed after killing %s (%d answers, all 200s)", s.Victim, oks)
+	}
+	if !coord.alive() {
+		return fmt.Errorf("coordinator died with the worker (stderr %q)", coord.stderr.String())
+	}
+	c.Logf("%d answers, %d typed errors after the kill", oks, typed)
+	return nil
+}
+
+// DistFuzz throws hostile byte sequences at the coordinator's cluster
+// port — raw garbage, an HTTP request, a JOIN with the wrong magic, an
+// absurd length prefix, frames truncated mid-header and mid-payload, a
+// well-formed frame of unknown kind. Each lands on its own connection
+// against a formed topology. The contract: the coordinator refuses or
+// ignores every one without wedging the barrier — the honest query
+// probe run between cases must keep answering — and never crashes.
+type DistFuzz struct {
+	Server   string // coordinator; defaults to "main"
+	SQL      string // honest probe between hostile cases
+	WantCell string // expected first cell of the probe
+}
+
+func (s DistFuzz) Describe() string { return "dist fuzz barrage on " + orMain(s.Server) }
+
+func (s DistFuzz) Run(c *Ctx) error {
+	p, err := c.proc(s.Server)
+	if err != nil {
+		return err
+	}
+	addr := p.dist()
+	if addr == "" {
+		return fmt.Errorf("%s: no dist:// address announced (started without -workers?)", p.name)
+	}
+
+	// The kind byte (0x01=JOIN) and magic mirror the wire constants in
+	// internal/dist. Drift would only soften the fuzz — the honest
+	// probe below catches a genuinely broken wire.
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := codec.WriteFrame(&buf, payload); err != nil {
+			panic(err) // bytes.Buffer writes cannot fail
+		}
+		return buf.Bytes()
+	}
+	badMagicJoin := frame(append(append([]byte{0x01},
+		codec.AppendString(nil, "notdist9")...),
+		codec.AppendString(nil, "127.0.0.1:1")...))
+	goodJoin := frame(append(append([]byte{0x01},
+		codec.AppendString(nil, "tagdist1")...),
+		codec.AppendString(nil, "127.0.0.1:1")...))
+
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"raw-garbage", []byte("\x00\xffnot a frame at all\x13\x37")},
+		{"http-speaker", []byte("GET /query HTTP/1.1\r\nHost: fuzz\r\n\r\n")},
+		{"bad-magic-join", badMagicJoin},
+		{"unknown-kind", frame([]byte{0x7F, 0xEE, 0xEE})},
+		{"oversized-length", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xDE, 0xAD, 0xBE, 0xEF}},
+		{"half-header", []byte{0x00, 0x00, 0x00}},
+		{"truncated-join", goodJoin[:len(goodJoin)-4]},
+		// A well-formed JOIN against a formed topology: the cluster is
+		// full, so the contract is an explicit refusal, not an accept.
+		{"late-join", goodJoin},
+	}
+	for _, tc := range cases {
+		if err := throwHostile(addr, tc.payload); err != nil {
+			return fmt.Errorf("%s: %w", tc.name, err)
+		}
+		if !p.alive() {
+			return fmt.Errorf("%s: coordinator died on hostile frame %s (stderr %q)",
+				p.name, tc.name, p.stderr.String())
+		}
+		// The barrier must not be wedged: a real query still answers.
+		if s.SQL != "" {
+			if err := (Query{Server: s.Server, SQL: s.SQL, WantCell: s.WantCell}).Run(c); err != nil {
+				return fmt.Errorf("after %s: %w", tc.name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -403,6 +403,37 @@ func Matrix() []Scenario {
 			},
 		},
 		{
+			Name: "worker-death-mid-superstep",
+			Tier: Quick,
+			Doc:  "SIGKILL one worker of a live topology under query load: typed errors, sticky 503, survivors stay up",
+			Steps: []Step{
+				Start{Server: "coord", Flags: tpch("-workers", "2", "-dist-addr", "127.0.0.1:0")},
+				Start{Server: "w1", Flags: []string{"-worker", "{dist:coord}", "-addr", "127.0.0.1:0"}},
+				Start{Server: "w2", Flags: []string{"-worker", "{dist:coord}", "-addr", "127.0.0.1:0"}},
+				Query{Server: "coord", SQL: "SELECT COUNT(*) FROM nation", WantCell: "25"},
+				KillWorkerUnderQuery{Server: "coord", Victim: "w1", SQL: heavySQL},
+				Health{Server: "coord"},
+				Health{Server: "w2"}, // the survivor left the query plane but stays diagnosable
+				// Degradation is sticky and the refusal stays clean: no
+				// rejoin, every later query is a typed 503.
+				Query{Server: "coord", SQL: "SELECT COUNT(*) FROM nation", WantStatus: 503},
+				Query{Server: "coord", SQL: heavySQL, WantStatus: 503},
+			},
+		},
+		{
+			Name: "dist-frame-fuzz",
+			Tier: Quick,
+			Doc:  "hostile frames at the cluster port (garbage, bad magic, huge length, truncation): refused, barrier never wedges",
+			Steps: []Step{
+				Start{Server: "coord", Flags: tpch("-workers", "1", "-dist-addr", "127.0.0.1:0")},
+				Start{Server: "w1", Flags: []string{"-worker", "{dist:coord}", "-addr", "127.0.0.1:0"}},
+				Query{Server: "coord", SQL: "SELECT COUNT(*) FROM nation", WantCell: "25"},
+				DistFuzz{Server: "coord", SQL: "SELECT COUNT(*) FROM nation", WantCell: "25"},
+				Health{Server: "coord"},
+				Health{Server: "w1"},
+			},
+		},
+		{
 			Name: "pool-exhaustion-429",
 			Tier: Quick,
 			Doc:  "queries beyond the session pool past -admit-wait get 429 + Retry-After; service recovers untouched",

@@ -29,6 +29,7 @@ type proc struct {
 
 	protoMu   sync.Mutex
 	protoAddr string // binary-protocol host:port, when announced
+	distAddr  string // cluster (coordinator) host:port, when announced
 
 	done    chan struct{} // closed once Wait has returned
 	waitErr error         // cmd.Wait's result, valid after done
@@ -68,6 +69,7 @@ func (t *tailBuffer) String() string {
 const (
 	listeningPrefix = "listening http://"
 	protoPrefix     = "listening proto://"
+	distPrefix      = "listening dist://"
 )
 
 // spawn launches binary with flags, wiring stdout through the
@@ -107,6 +109,11 @@ func spawn(name, binary string, flags []string) (*proc, <-chan string, error) {
 			if strings.HasPrefix(line, protoPrefix) {
 				p.protoMu.Lock()
 				p.protoAddr = normalizeHost(strings.TrimSpace(strings.TrimPrefix(line, protoPrefix)))
+				p.protoMu.Unlock()
+			}
+			if strings.HasPrefix(line, distPrefix) {
+				p.protoMu.Lock()
+				p.distAddr = normalizeHost(strings.TrimSpace(strings.TrimPrefix(line, distPrefix)))
 				p.protoMu.Unlock()
 			}
 			if first {
@@ -229,6 +236,14 @@ func (p *proc) proto() string {
 	p.protoMu.Lock()
 	defer p.protoMu.Unlock()
 	return p.protoAddr
+}
+
+// dist returns the cluster address the process announced, or "" when
+// it was not started as a coordinator (-workers).
+func (p *proc) dist() string {
+	p.protoMu.Lock()
+	defer p.protoMu.Unlock()
+	return p.distAddr
 }
 
 // alive reports whether the process has not yet been waited on.

@@ -93,8 +93,28 @@ func orMain(name string) string {
 }
 
 // expand substitutes the scenario's scratch directory for {dir} — the
-// one path scenarios must share across restarts without knowing it.
-func (c *Ctx) expand(s string) string { return strings.ReplaceAll(s, "{dir}", c.Dir) }
+// one path scenarios must share across restarts without knowing it —
+// and, for each running server, {dist:<name>} with the cluster address
+// that server announced, so a worker row can dial a coordinator bound
+// to an ephemeral port. The dist substitution waits briefly: the
+// coordinator prints its dist:// line after the data load, and the
+// stdout scanner may still be catching up when the next step runs.
+func (c *Ctx) expand(s string) string {
+	s = strings.ReplaceAll(s, "{dir}", c.Dir)
+	for name, p := range c.procs {
+		tok := "{dist:" + name + "}"
+		if !strings.Contains(s, tok) {
+			continue
+		}
+		addr := p.dist()
+		for wait := 0; addr == "" && wait < 100 && p.alive(); wait++ {
+			time.Sleep(50 * time.Millisecond)
+			addr = p.dist()
+		}
+		s = strings.ReplaceAll(s, tok, addr)
+	}
+	return s
+}
 
 func (c *Ctx) expandAll(in []string) []string {
 	out := make([]string, len(in))

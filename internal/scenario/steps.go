@@ -291,7 +291,10 @@ type Query struct {
 	WantLedgerMin bool
 	EpochAcked    bool // the response epoch must be >= the acked epoch
 	WantErr       bool // expect a 4xx JSON error instead of rows
-	DeadlineMS    int  // per-query deadline sent as deadline_ms (0 = none)
+	// WantStatus expects this exact non-200 status with a JSON error
+	// body — the shape of a 503 from a degraded distributed topology.
+	WantStatus int
+	DeadlineMS int // per-query deadline sent as deadline_ms (0 = none)
 	// WantTimeout expects the deadline to fire: a 408 with a JSON error
 	// body, the overload-survivability contract for deadlined queries.
 	WantTimeout bool
@@ -321,6 +324,18 @@ func (s Query) Run(c *Ctx) error {
 	}
 	if s.WantErr {
 		return (BadRequest{}).check(status, out)
+	}
+	if s.WantStatus != 0 {
+		if status != s.WantStatus {
+			return fmt.Errorf("status %d, want %d (body %s)", status, s.WantStatus, out)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(out, &e); err != nil || e.Error == "" {
+			return fmt.Errorf("status %d without a JSON error body: %s", status, out)
+		}
+		return nil
 	}
 	if status != http.StatusOK {
 		return fmt.Errorf("status %d: %s", status, out)

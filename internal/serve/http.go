@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/bsp"
+	"repro/internal/dist"
 	"repro/internal/relation"
 )
 
@@ -117,6 +118,9 @@ type StatsResponse struct {
 	IncrementalHits       int64 `json:"incremental_hits"`
 	IncrementalFallbacks  int64 `json:"incremental_fallbacks"`
 	IncrementalMismatches int64 `json:"incremental_mismatches"`
+	// Distributed serving (zero/absent when serving locally).
+	DistParts    int64 `json:"dist_parts,omitempty"`
+	DistDegraded bool  `json:"dist_degraded,omitempty"`
 }
 
 // SubscribeRequest is the POST /subscribe request body: the query to
@@ -398,6 +402,9 @@ func handler(s *Server, readOnly bool) http.Handler {
 			IncrementalHits:       st.IncrementalHits,
 			IncrementalFallbacks:  st.IncrementalFallbacks,
 			IncrementalMismatches: st.IncrementalMismatches,
+
+			DistParts:    st.DistParts,
+			DistDegraded: st.DistDegraded,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -420,6 +427,10 @@ func writeQueryError(w http.ResponseWriter, s *Server, err error) {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.opts.AdmitWait))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, dist.ErrDegraded):
+		// The distributed topology lost a node; no retry will succeed
+		// until the cluster is restarted.
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		writeJSON(w, http.StatusRequestTimeout, errorResponse{Error: err.Error()})
 	default:

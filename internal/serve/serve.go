@@ -36,6 +36,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/relation"
 	"repro/internal/sql"
 	"repro/internal/tag"
@@ -115,6 +116,19 @@ type Options struct {
 	// pinned subscription — it is a correctness harness for tests,
 	// scenario drills and benchmarks, not a production default.
 	VerifyIncremental bool
+
+	// Dist, when non-nil, routes every query to a distributed topology
+	// instead of the local session pool: the coordinator dispatches the
+	// SQL to every node and each computes the identical answer over its
+	// own partition, with the data exchange on real sockets. Analysis
+	// (and the prepared-statement cache) stays local, so parse errors
+	// never reach the topology. Distributed serving is read-only and
+	// queries serialize per topology — the cluster is one distributed
+	// engine, not a pool. Cancellation cannot abort a dispatched
+	// distributed query: the nodes advance in lockstep and run to
+	// completion. A degraded topology (a node died) refuses queries
+	// with dist.ErrDegraded, which HTTP maps to 503.
+	Dist *dist.Coordinator
 }
 
 func (o Options) withDefaults() Options {
@@ -194,6 +208,11 @@ type Stats struct {
 	IncrementalHits       int64 // pinned-query epoch advances folded from the write delta
 	IncrementalFallbacks  int64 // pinned-query epoch advances that re-ran the query cold
 	IncrementalMismatches int64 // VerifyIncremental divergences (cold answer won)
+
+	// Distributed serving (gauges, filled at snapshot time; zero when
+	// serving from the local session pool).
+	DistParts    int64 // topology size, coordinator included
+	DistDegraded bool  // the topology lost a node and refuses queries
 }
 
 // String renders the stats compactly.
@@ -524,7 +543,7 @@ func (s *Server) prepareFP(query string) (*sql.Analysis, string, bool, error) {
 	if err != nil {
 		return nil, "", false, err
 	}
-	if an, ok := s.prepared.get(fp); ok {
+	if an, _, ok := s.prepared.get(fp); ok {
 		return an, fp, true, nil
 	}
 	an, err := sql.AnalyzeString(s.gen.Load().Graph.Catalog, query)
@@ -532,7 +551,7 @@ func (s *Server) prepareFP(query string) (*sql.Analysis, string, bool, error) {
 		return nil, "", false, err
 	}
 	// On a race, adopt whichever Analysis reached the cache first.
-	return s.prepared.put(fp, an), fp, false, nil
+	return s.prepared.put(fp, query, an), fp, false, nil
 }
 
 // Query evaluates a SQL string on a pooled session of the current
@@ -570,7 +589,7 @@ func (s *Server) QueryOn(ctx context.Context, query, proto string) (*Result, str
 		s.statsMu.Unlock()
 		return nil, "", err
 	}
-	res, err := s.execute(ctx, an, hit, proto)
+	res, err := s.execute(ctx, an, query, hit, proto)
 	return res, fp, err
 }
 
@@ -580,18 +599,19 @@ func (s *Server) QueryOn(ctx context.Context, query, proto string) (*Result, str
 // is not (or no longer) cached; the client then falls back to sending
 // the SQL text, which re-primes the cache.
 func (s *Server) QueryPrepared(ctx context.Context, fp, proto string) (res *Result, ok bool, err error) {
-	an, hit := s.prepared.get(fp)
+	an, sqlText, hit := s.prepared.get(fp)
 	if !hit {
 		return nil, false, nil
 	}
-	res, err = s.execute(ctx, an, true, proto)
+	res, err = s.execute(ctx, an, sqlText, true, proto)
 	return res, true, err
 }
 
 // execute runs an analyzed query on a pooled session with admission
-// control, cancellation, and outcome accounting. Every protocol's
-// query path funnels through here.
-func (s *Server) execute(ctx context.Context, an *sql.Analysis, hit bool, proto string) (*Result, error) {
+// control, cancellation, and outcome accounting — or, on a
+// distributed server, dispatches its SQL text to the topology. Every
+// protocol's query path funnels through here.
+func (s *Server) execute(ctx context.Context, an *sql.Analysis, sqlText string, hit bool, proto string) (*Result, error) {
 	s.statsMu.Lock()
 	if hit {
 		s.stats.PreparedHits++
@@ -632,6 +652,27 @@ func (s *Server) execute(ctx context.Context, an *sql.Analysis, hit bool, proto 
 		}
 		s.statsMu.Unlock()
 	}()
+
+	if s.opts.Dist != nil {
+		// Distributed path: the topology is the engine. The local
+		// Analysis already vetted the SQL; the coordinator serializes
+		// queries and every node computes the identical answer. The pool
+		// and the generation pin stay out of it — distributed serving is
+		// read-only, so the boot generation is the only one.
+		start := time.Now()
+		dres, err := s.opts.Dist.Query(sqlText)
+		elapsed := time.Since(start)
+		if err != nil {
+			failure = err
+			return nil, err
+		}
+		res = &Result{Rows: dres.Rows, Info: dres.Info, Elapsed: elapsed,
+			Prepared: hit, Cost: dres.Cost, Epoch: s.gen.Load().Epoch}
+		if h := s.lat[proto]; h != nil {
+			h.Observe(elapsed)
+		}
+		return res, nil
+	}
 
 	// Unpin via defer so a panicking query (recovered by net/http) cannot
 	// leak the generation pin or the pool slot.
@@ -690,6 +731,10 @@ func (s *Server) Stats() Stats {
 	st.CheckpointEpoch = s.ckptLastEpoch
 	st.CheckpointErrors = s.ckptErrors
 	s.ckptMu.Unlock()
+	if s.opts.Dist != nil {
+		st.DistParts = int64(s.opts.Dist.Parts())
+		st.DistDegraded = s.opts.Dist.Degraded()
+	}
 	return st
 }
 
@@ -760,8 +805,9 @@ type preparedCache struct {
 }
 
 type preparedEntry struct {
-	fp string
-	an *sql.Analysis
+	fp  string
+	sql string // the statement's text, for distributed dispatch
+	an  *sql.Analysis
 }
 
 func (c *preparedCache) init(limit int) {
@@ -770,22 +816,23 @@ func (c *preparedCache) init(limit int) {
 	c.order = list.New()
 }
 
-func (c *preparedCache) get(fp string) (*sql.Analysis, bool) {
+func (c *preparedCache) get(fp string) (*sql.Analysis, string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[fp]
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*preparedEntry).an, true
+	e := el.Value.(*preparedEntry)
+	return e.an, e.sql, true
 }
 
 // put inserts an analysis unless the fingerprint is already cached, in
 // which case the cached value wins (concurrent first preparations race
 // to the lock; the loser adopts the winner's Analysis). Returns the
 // authoritative Analysis either way.
-func (c *preparedCache) put(fp string, an *sql.Analysis) *sql.Analysis {
+func (c *preparedCache) put(fp, sqlText string, an *sql.Analysis) *sql.Analysis {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[fp]; ok {
@@ -800,7 +847,7 @@ func (c *preparedCache) put(fp string, an *sql.Analysis) *sql.Analysis {
 		c.order.Remove(back)
 		delete(c.entries, back.Value.(*preparedEntry).fp)
 	}
-	c.entries[fp] = c.order.PushFront(&preparedEntry{fp: fp, an: an})
+	c.entries[fp] = c.order.PushFront(&preparedEntry{fp: fp, sql: sqlText, an: an})
 	return an
 }
 

@@ -1,0 +1,95 @@
+package sql
+
+import (
+	"encoding/binary"
+	"slices"
+
+	"repro/internal/codec"
+	"repro/internal/relation"
+)
+
+// This file is the binary (de)serialization of partial aggregation
+// state, so a distributed engine can ship sql.Aggregator accumulators
+// between processes exactly as the simulated message plane ships them
+// between partitions. The encoding is self-describing — it carries the
+// function name and flags — because the receiving process rebuilds the
+// accumulator without access to the sender's *FuncCall.
+
+// AppendBinary appends a's complete partial state: function name, a
+// flags byte (star, distinct), the observation count, the sum/min/max
+// values, and (for DISTINCT) the deferred value set in a canonical
+// order so the encoding of a given state is deterministic.
+func (a *Aggregator) AppendBinary(b []byte) ([]byte, error) {
+	b = codec.AppendString(b, a.fn.Name)
+	var flags byte
+	if a.fn.Star {
+		flags |= 1
+	}
+	if a.distinct != nil {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.AppendVarint(b, a.count)
+	var err error
+	for _, v := range [...]relation.Value{a.sum, a.min, a.max} {
+		if b, err = relation.AppendValue(b, v); err != nil {
+			return nil, err
+		}
+	}
+	if a.distinct != nil {
+		vals := make([]relation.Value, 0, len(a.distinct))
+		for v := range a.distinct {
+			vals = append(vals, v)
+		}
+		slices.SortFunc(vals, func(x, y relation.Value) int {
+			if x.Kind != y.Kind {
+				return int(x.Kind) - int(y.Kind)
+			}
+			return x.Compare(y)
+		})
+		b = binary.AppendUvarint(b, uint64(len(vals)))
+		for _, v := range vals {
+			if b, err = relation.AppendValue(b, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// DecodeAggregator decodes one AppendBinary encoding from d. The
+// rebuilt accumulator merges and finalizes exactly like the original;
+// its FuncCall is synthesized from the encoded name and flags.
+func DecodeAggregator(d *codec.Decoder) (*Aggregator, error) {
+	name, err := d.Str()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	a := NewAggregator(&FuncCall{Name: name, Star: flags&1 != 0, Distinct: flags&2 != 0})
+	if a.count, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	for _, dst := range [...]*relation.Value{&a.sum, &a.min, &a.max} {
+		if *dst, err = relation.DecodeValue(d); err != nil {
+			return nil, err
+		}
+	}
+	if a.distinct != nil {
+		n, err := d.Length()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			v, err := relation.DecodeValue(d)
+			if err != nil {
+				return nil, err
+			}
+			a.distinct[v] = struct{}{}
+		}
+	}
+	return a, nil
+}
